@@ -1,0 +1,131 @@
+// Command hdbench regenerates the paper's evaluation tables and figures
+// (Table 2, Table 3, Figures 3-7) from the simulated system.
+//
+// Usage:
+//
+//	hdbench -exp all
+//	hdbench -exp fig4a -split-kb 32 -variants 3 -task-scale 1
+//	hdbench -exp fig7e
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table2 table3 fig3 fig4a fig4b fig5 fig6 fig7a fig7b fig7c fig7d fig7e ablation all")
+	splitKB := flag.Int("split-kb", 16, "scaled fileSplit size in KB for task sampling")
+	variants := flag.Int("variants", 2, "distinct splits sampled per benchmark and device")
+	taskScale := flag.Float64("task-scale", 1.0, "multiplier on the paper's Table-2 task counts")
+	seed := flag.Uint64("seed", 0, "input seed (0 = default)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		SplitBytes: *splitKB << 10,
+		Variants:   *variants,
+		TaskScale:  *taskScale,
+		Seed:       *seed,
+	}
+
+	wants := strings.Split(strings.ToLower(*exp), ",")
+	selected := func(name string) bool {
+		for _, w := range wants {
+			if w == name || w == "all" {
+				return true
+			}
+		}
+		return false
+	}
+	ran := 0
+
+	if selected("table2") {
+		fmt.Print(experiments.FormatTable2(experiments.Table2()))
+		fmt.Println()
+		ran++
+	}
+	if selected("table3") {
+		fmt.Print(experiments.FormatTable3(experiments.Table3()))
+		fmt.Println()
+		ran++
+	}
+	if selected("fig3") {
+		r, err := experiments.Fig3()
+		check(err)
+		fmt.Print(experiments.FormatFig3(r))
+		fmt.Println()
+		ran++
+	}
+	if selected("fig5") {
+		rows, err := experiments.Fig5(cfg)
+		check(err)
+		fmt.Print(experiments.FormatFig5(rows))
+		fmt.Println()
+		ran++
+	}
+	if selected("fig6") {
+		rows, err := experiments.Fig6(cfg)
+		check(err)
+		fmt.Print(experiments.FormatFig6(rows))
+		fmt.Println()
+		ran++
+	}
+	if selected("fig4a") {
+		rows, err := experiments.Fig4a(cfg)
+		check(err)
+		fmt.Print(experiments.FormatFig4("Figure 4a: HeteroDoop on Cluster1 (CPU + 1 GPU per node)",
+			rows, []string{"1GPU+gpufirst", "1GPU+tail"}))
+		fmt.Println()
+		ran++
+	}
+	if selected("fig4b") {
+		rows, err := experiments.Fig4b(cfg)
+		check(err)
+		fmt.Print(experiments.FormatFig4("Figure 4b: HeteroDoop on Cluster2 (multi-GPU scaling)",
+			rows, []string{"1GPU+gpufirst", "1GPU+tail", "2GPU+gpufirst", "2GPU+tail", "3GPU+gpufirst", "3GPU+tail"}))
+		fmt.Println()
+		ran++
+	}
+	panels := []struct {
+		name  string
+		title string
+		fn    func(experiments.Config) ([]experiments.Fig7Row, error)
+	}{
+		{"fig7a", "Figure 7a: Effect of texture memory on map kernels", experiments.Fig7Texture},
+		{"fig7b", "Figure 7b: Effect of vectorized read/write on combine kernels", experiments.Fig7VectorCombine},
+		{"fig7c", "Figure 7c: Effect of vectorized read/write on map kernels", experiments.Fig7VectorMap},
+		{"fig7d", "Figure 7d: Effect of record stealing on map kernels", experiments.Fig7RecordStealing},
+		{"fig7e", "Figure 7e: Effect of KV pair aggregation on sort kernels", experiments.Fig7Aggregation},
+	}
+	for _, p := range panels {
+		if selected(p.name) || selected("fig7") {
+			rows, err := p.fn(cfg)
+			check(err)
+			fmt.Print(experiments.FormatFig7(p.title, rows))
+			fmt.Println()
+			ran++
+		}
+	}
+	if selected("ablation") || selected("ablations") {
+		r, err := experiments.Ablations(cfg)
+		check(err)
+		fmt.Print(experiments.FormatAblations(r))
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "hdbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,121 @@
+// Command heterodoop runs one of the paper's benchmarks end-to-end on the
+// simulated CPU+GPU cluster: it generates a synthetic input, compiles the
+// directive-annotated sources for both targets, executes the job
+// functionally under the chosen scheduler, and reports virtual-time stats
+// plus a sample of the real output.
+//
+// Usage:
+//
+//	heterodoop -bench WC -sched tail -input-kb 64
+//	heterodoop -bench BS -sched cpu        (baseline Hadoop)
+//	heterodoop -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mr"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "WC", "benchmark code (GR HS WC HR LR KM CL BS)")
+	sched := flag.String("sched", "tail", "scheduler: cpu | gpufirst | tail")
+	gpus := flag.Int("gpus", 1, "GPUs per node")
+	inputKB := flag.Int("input-kb", 64, "synthetic input size in KB")
+	slaves := flag.Int("slaves", 8, "slave nodes in the simulated cluster")
+	blockKB := flag.Int("block-kb", 4, "scaled HDFS block size in KB")
+	seed := flag.Uint64("seed", 42, "input generator seed")
+	failRate := flag.Float64("fail", 0, "GPU task failure injection rate")
+	outLines := flag.Int("out", 10, "output lines to print")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.All() {
+			comb := "no combiner"
+			if b.HasCombiner {
+				comb = "combiner"
+			}
+			fmt.Printf("%-3s %-18s %-8s %s\n", b.Code, b.Name, b.Nature, comb)
+		}
+		return
+	}
+
+	b := workload.ByCode(strings.ToUpper(*bench))
+	if b == nil {
+		fatal(fmt.Errorf("unknown benchmark %q (use -list)", *bench))
+	}
+	var scheduler mr.SchedulerKind
+	switch strings.ToLower(*sched) {
+	case "cpu", "cpuonly":
+		scheduler = mr.CPUOnly
+	case "gpufirst", "gpu-first":
+		scheduler = mr.GPUFirst
+	case "tail":
+		scheduler = mr.TailSched
+	default:
+		fatal(fmt.Errorf("unknown scheduler %q", *sched))
+	}
+
+	prog := b.JobFor(1)
+	job, err := core.CompileJob(core.JobSources{
+		Name: prog.Name, Map: prog.MapSrc, Combine: prog.CombineSrc,
+		Reduce: prog.ReduceSrc, Reducers: prog.NumReducers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	setup := cluster.Cluster1()
+	setup.Slaves = *slaves
+	setup.HDFS.DataNodes = *slaves
+	setup.HDFS.BlockSize = int64(*blockKB) << 10
+	if setup.HDFS.Replication > *slaves {
+		setup.HDFS.Replication = *slaves
+	}
+
+	input := b.Gen(*seed, *inputKB<<10)
+	res, err := core.Run(job, input, core.RunOptions{
+		Setup: &setup, Scheduler: scheduler, GPUs: *gpus,
+		GPUFailureRate: *failRate, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	s := res.Stats
+	fmt.Printf("benchmark       : %s (%s, %s)\n", b.Name, b.Code, b.Nature)
+	fmt.Printf("scheduler       : %s, %d GPU(s)/node, %d slaves\n", scheduler, *gpus, *slaves)
+	fmt.Printf("input           : %d KB -> %d map tasks, %d reducers\n",
+		len(input)>>10, s.MapsOnCPU+s.MapsOnGPU, prog.NumReducers)
+	fmt.Printf("makespan        : %.6f s (virtual time)\n", s.Makespan)
+	fmt.Printf("map placement   : %d on CPU, %d on GPU (%d data-local, %d tail-forced)\n",
+		s.MapsOnCPU, s.MapsOnGPU, s.DataLocalMaps, s.ForcedGPUTasks)
+	if s.MapTimeCPU > 0 && s.MapTimeGPU > 0 {
+		fmt.Printf("task times      : CPU %.6fs, GPU %.6fs (%.1fx)\n",
+			s.MapTimeCPU, s.MapTimeGPU, s.MapTimeCPU/s.MapTimeGPU)
+	}
+	if s.Retries > 0 {
+		fmt.Printf("fault tolerance : %d failed GPU attempts rescheduled\n", s.Retries)
+	}
+	fmt.Printf("output          : %d records\n", len(res.Output))
+	lines := strings.Split(strings.TrimSpace(res.TextOutput()), "\n")
+	for i, line := range lines {
+		if i >= *outLines {
+			fmt.Printf("  ... %d more\n", len(lines)-i)
+			break
+		}
+		fmt.Printf("  %s\n", line)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "heterodoop:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// BlackScholes: the paper's most compute-intensive benchmark (map-only
+// option pricing, 128 volatility scenarios per option).
+//
+// This example reproduces two observations from the paper at single-task
+// granularity: the large GPU speedup (§7.4: up to 47x on real hardware)
+// and the bottleneck shift — on the GPU the task spends most of its time
+// writing output, not computing (§7.4: 62% output write, up from 1% on the
+// CPU).
+//
+//	go run ./examples/blackscholes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gpurt"
+	"repro/internal/workload"
+)
+
+func main() {
+	bs := workload.BlackScholes()
+	job, err := core.CompileJob(core.JobSources{
+		Name: "blackscholes", Map: bs.Job.MapSrc, Reducers: 0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	input := bs.Gen(99, 64<<10)
+	setup := cluster.Cluster1()
+
+	cmp, err := core.CompareTask(job, input, setup, gpurt.AllOptimizations())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("options priced      : %d (%d KV pairs)\n", cmp.Records, cmp.KVPairs)
+	fmt.Printf("CPU task (1 core)   : %.6f s\n", cmp.CPUTime)
+	fmt.Printf("GPU task            : %.6f s\n", cmp.GPUTime)
+	fmt.Printf("single-task speedup : %.1fx\n\n", cmp.Speedup)
+
+	fmt.Println("GPU task breakdown (the bottleneck moves to the output write):")
+	total := cmp.GPUTimes.Total()
+	for _, st := range cmp.GPUTimes.Stages() {
+		if st.Time == 0 {
+			continue
+		}
+		bar := ""
+		for i := 0; i < int(st.Time/total*50); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %-13s %6.1f%% %s\n", st.Name, 100*st.Time/total, bar)
+	}
+}

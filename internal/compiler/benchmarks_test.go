@@ -1,0 +1,134 @@
+package compiler_test
+
+// Translator coverage over the full benchmark suite: every Table-2 program
+// must compile, classify its variables sensibly, and emit well-formed
+// CUDA-flavoured kernels. Lives in an external test package to exercise
+// the compiler exactly as other packages consume it.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/kv"
+	"repro/internal/workload"
+)
+
+func TestAllBenchmarkMappersTranslate(t *testing.T) {
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Code, func(t *testing.T) {
+			c, err := compiler.Compile(b.Job.MapSrc)
+			if err != nil {
+				t.Fatalf("mapper: %v", err)
+			}
+			if c.Kernel.Kind != compiler.RegionMapper {
+				t.Fatalf("kind = %v", c.Kernel.Kind)
+			}
+			cuda := c.CUDA
+			for _, want := range []string{"__global__ void gpu_mapper(", "mapSetup(", "mapFinish(", "getRecord(", "emitKV("} {
+				if !strings.Contains(cuda, want) {
+					t.Errorf("CUDA missing %q", want)
+				}
+			}
+			for _, forbidden := range []string{"getline(", "printf(", "scanf("} {
+				if strings.Contains(cuda, forbidden) {
+					t.Errorf("CUDA still contains CPU call %q", forbidden)
+				}
+			}
+			if b.Job.CombineSrc == "" {
+				return
+			}
+			cc, err := compiler.Compile(b.Job.CombineSrc)
+			if err != nil {
+				t.Fatalf("combiner: %v", err)
+			}
+			if cc.Kernel.Kind != compiler.RegionCombiner {
+				t.Fatalf("combiner kind = %v", cc.Kernel.Kind)
+			}
+			if !strings.Contains(cc.CUDA, "__global__ void gpu_combiner(") ||
+				!strings.Contains(cc.CUDA, "getKV(") || !strings.Contains(cc.CUDA, "storeKV(") {
+				t.Errorf("combiner CUDA malformed:\n%s", cc.CUDA)
+			}
+		})
+	}
+}
+
+func TestBenchmarkSchemas(t *testing.T) {
+	want := map[string]struct{ key, val kv.Kind }{
+		"GR": {kv.Bytes, kv.Int},
+		"HS": {kv.Int, kv.Int},
+		"WC": {kv.Bytes, kv.Int},
+		"HR": {kv.Int, kv.Int},
+		"LR": {kv.Int, kv.Float},
+		"KM": {kv.Int, kv.Bytes},
+		"CL": {kv.Int, kv.Int},
+		"BS": {kv.Int, kv.Float},
+	}
+	for _, b := range workload.All() {
+		c, err := compiler.Compile(b.Job.MapSrc)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Code, err)
+		}
+		w := want[b.Code]
+		if c.Schema.KeyKind != w.key || c.Schema.ValKind != w.val {
+			t.Errorf("%s schema = %v/%v, want %v/%v", b.Code, c.Schema.KeyKind, c.Schema.ValKind, w.key, w.val)
+		}
+	}
+}
+
+func TestKmeansPlacementClauses(t *testing.T) {
+	c, err := compiler.Compile(workload.KmeansMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]compiler.VarClass{}
+	for sym, cls := range c.Kernel.Plan {
+		classes[sym.Name] = cls
+	}
+	if classes["centroids"] != compiler.ClassTexture {
+		t.Errorf("centroids = %v, want texture", classes["centroids"])
+	}
+	if classes["K"] != compiler.ClassROScalar || classes["D"] != compiler.ClassROScalar {
+		t.Errorf("K/D = %v/%v, want ROScalar", classes["K"], classes["D"])
+	}
+	if !strings.Contains(c.CUDA, "texture-bound") {
+		t.Error("CUDA output does not mark the texture binding")
+	}
+}
+
+func TestGrepSharedROPattern(t *testing.T) {
+	c, err := compiler.Compile(workload.GrepMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sym, cls := range c.Kernel.Plan {
+		if sym.Name == "pattern" && cls != compiler.ClassROArray {
+			t.Errorf("pattern = %v, want ROArray (sharedRO char array)", cls)
+		}
+	}
+}
+
+func TestBlackScholesUserFunctionSurvives(t *testing.T) {
+	c, err := compiler.Compile(workload.BlackScholesMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CNDF is user code called from the kernel region; the call must
+	// survive translation untouched.
+	if !strings.Contains(c.CUDA, "CNDF(") {
+		t.Error("user helper call lost in translation")
+	}
+}
+
+func TestLaunchClausesHonored(t *testing.T) {
+	for _, b := range workload.All() {
+		c, err := compiler.Compile(b.Job.MapSrc)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Code, err)
+		}
+		if c.Kernel.Blocks != 30 || c.Kernel.Threads != 64 {
+			t.Errorf("%s launch = %dx%d, want 30x64 from clauses", b.Code, c.Kernel.Blocks, c.Kernel.Threads)
+		}
+	}
+}

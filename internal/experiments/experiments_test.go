@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps experiment tests fast: small splits, one variant, a small
+// fraction of the paper's task counts.
+var tinyCfg = Config{SplitBytes: 6 << 10, Variants: 1, TaskScale: 0.02, Seed: 7}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byCode := map[string]Table2Row{}
+	for _, r := range rows {
+		byCode[r.Code] = r
+	}
+	// Spot-check the paper's Table 2 values.
+	if r := byCode["GR"]; r.MapTasksC1 != 7632 || r.InputGBC1 != 902 || r.PctMapCombine != 69 {
+		t.Errorf("GR row = %+v", r)
+	}
+	if r := byCode["BS"]; r.ReduceTasksC1 != 0 || r.MapTasksC2 != 5120 || r.PctMapCombine != 100 {
+		t.Errorf("BS row = %+v", r)
+	}
+	text := FormatTable2(rows)
+	for _, want := range []string{"Wordcount (WC)", "5760", "NA", "Compute", "IO"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table 2 text missing %q", want)
+		}
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	rows := Table3()
+	text := FormatTable3(rows)
+	for _, want := range []string{"48 (+1 master)", "32 (+1 master)", "K40", "M2090",
+		"FDR InfiniBand", "QDR InfiniBand", "Speculative Execution"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table 3 text missing %q", want)
+		}
+	}
+}
+
+func TestFig3TailBeatsGPUFirst(t *testing.T) {
+	r, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TailTime >= r.GPUFirstTime {
+		t.Fatalf("tail (%v) not faster than GPU-first (%v)", r.TailTime, r.GPUFirstTime)
+	}
+	if r.ForcedGPUTasks == 0 {
+		t.Error("no tasks were tail-forced")
+	}
+	if !strings.Contains(FormatFig3(r), "better") {
+		t.Error("format output malformed")
+	}
+}
+
+func TestFig5ShapeHolds(t *testing.T) {
+	rows, err := Fig5(tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Sorted ascending by optimized speedup.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].OptSpeedup < rows[i-1].OptSpeedup {
+			t.Errorf("rows not sorted at %d", i)
+		}
+	}
+	// BS must be the top speedup and clearly compute-dominant.
+	if rows[len(rows)-1].Code != "BS" {
+		t.Errorf("top benchmark = %s, want BS", rows[len(rows)-1].Code)
+	}
+	byCode := map[string]Fig5Row{}
+	for _, r := range rows {
+		byCode[r.Code] = r
+	}
+	if byCode["BS"].OptSpeedup < 5*byCode["HS"].OptSpeedup {
+		t.Errorf("BS (%v) should dwarf HS (%v)", byCode["BS"].OptSpeedup, byCode["HS"].OptSpeedup)
+	}
+	// Optimizations never hurt.
+	for _, r := range rows {
+		if r.OptSpeedup < r.BaseSpeedup*0.95 {
+			t.Errorf("%s: optimizations made things worse (%v -> %v)", r.Code, r.BaseSpeedup, r.OptSpeedup)
+		}
+	}
+	_ = FormatFig5(rows)
+}
+
+func TestFig6FractionsSumToOne(t *testing.T) {
+	rows, err := Fig6(tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		sum := 0.0
+		for _, f := range r.Fractions {
+			sum += f
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("%s: fractions sum to %v", r.Code, sum)
+		}
+	}
+	// BS is map-only: no sort/combine stages.
+	for _, r := range rows {
+		if r.Code == "BS" {
+			if r.Fractions["sort"] != 0 || r.Fractions["combine"] != 0 {
+				t.Errorf("BS has sort/combine fractions: %+v", r.Fractions)
+			}
+			if r.Fractions["output write"] < 0.2 {
+				t.Errorf("BS output write fraction = %v, paper reports the write dominating", r.Fractions["output write"])
+			}
+		}
+	}
+	_ = FormatFig6(rows)
+}
+
+func TestFig7Panels(t *testing.T) {
+	t.Run("texture", func(t *testing.T) {
+		rows, err := Fig7Texture(tinyCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Speedup < 1.1 {
+				t.Errorf("%s texture speedup = %v, want > 1.1", r.Code, r.Speedup)
+			}
+		}
+	})
+	t.Run("vector-combine", func(t *testing.T) {
+		rows, err := Fig7VectorCombine(tinyCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Speedup < 1.0 {
+				t.Errorf("%s vector-combine speedup = %v, want >= 1", r.Code, r.Speedup)
+			}
+		}
+	})
+	t.Run("vector-map", func(t *testing.T) {
+		rows, err := Fig7VectorMap(tinyCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawGain := false
+		for _, r := range rows {
+			if r.Speedup > 1.2 {
+				sawGain = true
+			}
+		}
+		if !sawGain {
+			t.Error("vectorized map showed no gains anywhere")
+		}
+	})
+	t.Run("record-stealing", func(t *testing.T) {
+		rows, err := Fig7RecordStealing(tinyCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawGain := false
+		for _, r := range rows {
+			if r.Speedup > 1.05 {
+				sawGain = true
+			}
+			if r.Speedup < 0.95 {
+				t.Errorf("%s: stealing hurt the map kernel (%v)", r.Code, r.Speedup)
+			}
+		}
+		if !sawGain {
+			t.Error("record stealing showed no gains on skewed benchmarks")
+		}
+	})
+	t.Run("aggregation", func(t *testing.T) {
+		rows, err := Fig7Aggregation(tinyCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawGain := false
+		for _, r := range rows {
+			if r.Speedup > 1.5 {
+				sawGain = true
+			}
+		}
+		if !sawGain {
+			t.Error("KV aggregation showed no sort gains")
+		}
+		_ = FormatFig7("7e", rows)
+	})
+}
+
+// fig4Cfg gives the cluster runs enough tasks per slot for steady-state
+// throughput to show (tasks must outnumber slots by several waves).
+var fig4Cfg = Config{SplitBytes: 8 << 10, Variants: 1, TaskScale: 0.5, Seed: 7}
+
+func TestFig4aShapeHolds(t *testing.T) {
+	rows, err := Fig4a(fig4Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var bs, worst Fig4Row
+	for _, r := range rows {
+		if r.Code == "BS" {
+			bs = r
+		}
+	}
+	worst = rows[0] // sorted ascending by tail speedup
+	if bs.Speedups["1GPU+tail"] < 1.2 {
+		t.Errorf("BS end-to-end speedup = %v, want the headline >1.2x effect", bs.Speedups["1GPU+tail"])
+	}
+	if bs.Speedups["1GPU+tail"] <= worst.Speedups["1GPU+tail"] {
+		t.Error("compute-bound BS should beat the slowest benchmark")
+	}
+	// Everything should at least not get slower with a GPU added.
+	for _, r := range rows {
+		if r.Speedups["1GPU+tail"] < 0.97 {
+			t.Errorf("%s: adding a GPU slowed the job (%v)", r.Code, r.Speedups["1GPU+tail"])
+		}
+	}
+	_ = FormatFig4("fig4a", rows, []string{"1GPU+gpufirst", "1GPU+tail"})
+}
+
+func TestFig4bMultiGPUScaling(t *testing.T) {
+	rows, err := Fig4b(fig4Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7 (KM excluded)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Code == "KM" {
+			t.Fatal("KM must be excluded from Cluster2 (paper: memory capacity)")
+		}
+		if r.Speedups["3GPU+tail"] < r.Speedups["1GPU+tail"]*0.95 {
+			t.Errorf("%s: no multi-GPU scaling: 1GPU %v vs 3GPU %v",
+				r.Code, r.Speedups["1GPU+tail"], r.Speedups["3GPU+tail"])
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	r, err := Ablations(Config{SplitBytes: 8 << 10, Variants: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BlockVsStatic() <= 1.0 {
+		t.Errorf("per-block stealing not better than static: %v", r.BlockVsStatic())
+	}
+	if r.BlockVsGlobal() <= 1.0 {
+		t.Errorf("per-block stealing not better than global-atomic: %v", r.BlockVsGlobal())
+	}
+	if r.SpeculationGain() <= 1.0 {
+		t.Errorf("speculation gain = %v", r.SpeculationGain())
+	}
+	if !strings.Contains(FormatAblations(r), "rejected alternative") {
+		t.Error("format output malformed")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); g != 4 {
+		t.Fatalf("GeoMean(2,8) = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %v", g)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	a, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("Fig3 not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/mr"
+)
+
+// Fig3Result reproduces the Figure-3 thought experiment: 19 equal tasks,
+// one node with 2 CPU slots and 1 GPU that is 6x faster.
+type Fig3Result struct {
+	Tasks          int
+	CPUSlots       int
+	GPUs           int
+	GPUSpeedup     float64
+	GPUFirstTime   float64
+	TailTime       float64
+	ForcedGPUTasks int
+}
+
+// Improvement is the makespan reduction of tail scheduling.
+func (r Fig3Result) Improvement() float64 {
+	if r.GPUFirstTime == 0 {
+		return 0
+	}
+	return r.GPUFirstTime / r.TailTime
+}
+
+// Fig3 runs the two schedulers on the canonical scenario.
+func Fig3() (Fig3Result, error) {
+	const (
+		tasks   = 19
+		cpuTask = 60.0
+		gpuTask = 10.0
+	)
+	exec := func() *mr.SampledExecutor {
+		return &mr.SampledExecutor{
+			Splits: tasks, Reducers: 0, Slaves: 1,
+			CPUDur: []float64{cpuTask}, GPUDur: []float64{gpuTask},
+		}
+	}
+	run := func(s mr.SchedulerKind) (*mr.JobStats, error) {
+		return mr.RunJob(mr.ClusterConfig{
+			Slaves: 1, Node: mr.NodeConfig{MapSlots: 2, ReduceSlots: 1, GPUs: 1},
+			Scheduler: s, HeartbeatSec: 0.5,
+		}, exec())
+	}
+	gf, err := run(mr.GPUFirst)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	tail, err := run(mr.TailSched)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	return Fig3Result{
+		Tasks: tasks, CPUSlots: 2, GPUs: 1, GPUSpeedup: cpuTask / gpuTask,
+		GPUFirstTime: gf.Makespan, TailTime: tail.Makespan,
+		ForcedGPUTasks: tail.ForcedGPUTasks,
+	}, nil
+}
+
+// FormatFig3 renders the scenario result.
+func FormatFig3(r Fig3Result) string {
+	return fmt.Sprintf(
+		"Figure 3: Tail scheduling vs GPU-first (%d tasks, %d CPU slots, %d GPU at %.0fx)\n"+
+			"  GPU-first makespan: %7.1f s\n"+
+			"  Tail     makespan: %7.1f s   (%.2fx better, %d tasks forced to GPU)\n",
+		r.Tasks, r.CPUSlots, r.GPUs, r.GPUSpeedup,
+		r.GPUFirstTime, r.TailTime, r.Improvement(), r.ForcedGPUTasks)
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// Table2Row is one benchmark's row of the paper's Table 2.
+type Table2Row struct {
+	Code, Name, Nature string
+	PctMapCombine      int
+	Combiner           bool
+	ReduceTasksC1      int
+	ReduceTasksC2      int
+	MapTasksC1         int
+	MapTasksC2         int
+	InputGBC1          float64
+	InputGBC2          float64
+}
+
+// Table2 reproduces Table 2 from the benchmark registry.
+func Table2() []Table2Row {
+	var rows []Table2Row
+	for _, b := range workload.All() {
+		rows = append(rows, Table2Row{
+			Code: b.Code, Name: b.Name, Nature: b.Nature,
+			PctMapCombine: b.PctMapCombine, Combiner: b.HasCombiner,
+			ReduceTasksC1: b.ReduceTasksC1, ReduceTasksC2: b.ReduceTasksC2,
+			MapTasksC1: b.MapTasksC1, MapTasksC2: b.MapTasksC2,
+			InputGBC1: b.InputGBC1, InputGBC2: b.InputGBC2,
+		})
+	}
+	return rows
+}
+
+// FormatTable2 renders Table 2 as aligned text.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Description of the Benchmarks Used\n")
+	fmt.Fprintf(&b, "%-22s %5s %-8s %-8s %9s %9s %9s %9s %8s %8s\n",
+		"Benchmark", "%M+C", "Nature", "Combiner", "Red.C1", "Red.C2", "Maps.C1", "Maps.C2", "GB.C1", "GB.C2")
+	for _, r := range rows {
+		c2 := func(n int) string {
+			if r.MapTasksC2 == 0 && n == 0 {
+				return "NA"
+			}
+			return fmt.Sprint(n)
+		}
+		gb2 := "NA"
+		if r.InputGBC2 > 0 {
+			gb2 = fmt.Sprintf("%.0f", r.InputGBC2)
+		}
+		comb := "No"
+		if r.Combiner {
+			comb = "Yes"
+		}
+		fmt.Fprintf(&b, "%-22s %5d %-8s %-8s %9d %9s %9d %9s %8.0f %8s\n",
+			fmt.Sprintf("%s (%s)", r.Name, r.Code), r.PctMapCombine, r.Nature, comb,
+			r.ReduceTasksC1, fmt.Sprint(r.ReduceTasksC2), r.MapTasksC1, c2(r.MapTasksC2),
+			r.InputGBC1, gb2)
+	}
+	return b.String()
+}
+
+// Table3Row is one configuration row of the paper's Table 3.
+type Table3Row struct {
+	Item     string
+	Cluster1 string
+	Cluster2 string
+}
+
+// Table3 reproduces Table 3 from the cluster setups.
+func Table3() []Table3Row {
+	c1, c2 := cluster.Cluster1(), cluster.Cluster2()
+	row := func(item, a, b string) Table3Row { return Table3Row{item, a, b} }
+	return []Table3Row{
+		row("#nodes", fmt.Sprintf("%d (+1 master)", c1.Slaves), fmt.Sprintf("%d (+1 master)", c2.Slaves)),
+		row("CPU", "Intel Xeon E5-2680", "Intel Xeon X5560"),
+		row("#CPU cores", fmt.Sprint(c1.Node.MapSlots), fmt.Sprint(12)),
+		row("GPU(s)", c1.Device.Name, fmt.Sprintf("3x %s", c2.Device.Name)),
+		row("Disk", "500GB", "none (in-memory)"),
+		row("Communication", "FDR InfiniBand", "QDR InfiniBand"),
+		row("Hadoop Version", "Hadoop 1.2.1 (simulated)", "Hadoop 1.2.1 (simulated)"),
+		row("HDFS Block Size", fmt.Sprintf("256MB (scaled: %dKB)", c1.HDFS.BlockSize>>10), fmt.Sprintf("256MB (scaled: %dKB)", c2.HDFS.BlockSize>>10)),
+		row("HDFS Replication Factor", fmt.Sprint(c1.HDFS.Replication), fmt.Sprint(c2.HDFS.Replication)),
+		row("Max. Map Slots Per Node", fmt.Sprintf("%d (+1 for GPU runs)", c1.Node.MapSlots), fmt.Sprintf("%d (+1/GPU for GPU runs)", c2.Node.MapSlots)),
+		row("Max. Reduce Slots Per Node", fmt.Sprint(c1.Node.ReduceSlots), fmt.Sprint(c2.Node.ReduceSlots)),
+		row("Speculative Execution", "Off", "Off"),
+		row("% map tasks before reduce", "20", "20"),
+	}
+}
+
+// FormatTable3 renders Table 3 as aligned text.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Cluster Setups Used\n")
+	fmt.Fprintf(&b, "%-28s %-28s %-28s\n", "", "Cluster1", "Cluster2")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %-28s %-28s\n", r.Item, r.Cluster1, r.Cluster2)
+	}
+	return b.String()
+}

@@ -1,0 +1,358 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lexer turns MiniC source into tokens. `#include` lines are skipped (the
+// C standard library is built into the runtime); `#pragma` lines become
+// TokPragma tokens with backslash continuations joined, matching the
+// HeteroDoop directive syntax of the paper (Listing 1 uses `\\` at line
+// ends).
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input, returning tokens ending with TokEOF.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("minic: %d:%d: %s", lx.line, lx.col, fmt.Sprintf(format, args...))
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	for {
+		lx.skipSpaceAndComments()
+		if lx.off >= len(lx.src) {
+			return Token{Kind: TokEOF, Pos: lx.pos()}, nil
+		}
+		c := lx.peek()
+		switch {
+		case c == '#':
+			tok, skip, err := lx.lexDirective()
+			if err != nil {
+				return Token{}, err
+			}
+			if skip {
+				continue
+			}
+			return tok, nil
+		case isIdentStart(c):
+			return lx.lexIdent(), nil
+		case c >= '0' && c <= '9', c == '.' && isDigit(lx.peek2()):
+			return lx.lexNumber()
+		case c == '"':
+			return lx.lexString()
+		case c == '\'':
+			return lx.lexChar()
+		default:
+			return lx.lexPunct()
+		}
+	}
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			lx.advance()
+			lx.advance()
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// lexDirective handles `#...` lines. Returns (token, skip, err): skip is
+// true for ignorable directives like #include.
+func (lx *Lexer) lexDirective() (Token, bool, error) {
+	pos := lx.pos()
+	var sb strings.Builder
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		if c == '\n' {
+			// A trailing backslash (possibly doubled, as in the paper's
+			// listings) continues the logical line.
+			s := strings.TrimRight(sb.String(), " \t")
+			if strings.HasSuffix(s, "\\") {
+				s = strings.TrimRight(strings.TrimSuffix(s, "\\"), "\\ \t")
+				sb.Reset()
+				sb.WriteString(s)
+				sb.WriteByte(' ')
+				lx.advance()
+				continue
+			}
+			break
+		}
+		sb.WriteByte(c)
+		lx.advance()
+	}
+	text := strings.TrimSpace(sb.String())
+	switch {
+	case strings.HasPrefix(text, "#pragma"):
+		return Token{Kind: TokPragma, Text: strings.TrimSpace(strings.TrimPrefix(text, "#pragma")), Pos: pos}, false, nil
+	case strings.HasPrefix(text, "#include"):
+		return Token{}, true, nil
+	default:
+		return Token{}, false, fmt.Errorf("minic: %s: unsupported preprocessor directive %q", pos, text)
+	}
+}
+
+func (lx *Lexer) lexIdent() Token {
+	pos := lx.pos()
+	start := lx.off
+	for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	kind := TokIdent
+	if keywords[text] {
+		kind = TokKeyword
+	}
+	return Token{Kind: kind, Text: text, Pos: pos}
+}
+
+func (lx *Lexer) lexNumber() (Token, error) {
+	pos := lx.pos()
+	start := lx.off
+	isFloat := false
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.off < len(lx.src) && isHexDigit(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return Token{}, lx.errf("bad hex literal %q", text)
+		}
+		return Token{Kind: TokIntLit, Text: text, Pos: pos, IntVal: v}, nil
+	}
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		if isDigit(c) {
+			lx.advance()
+		} else if c == '.' {
+			isFloat = true
+			lx.advance()
+		} else if c == 'e' || c == 'E' {
+			isFloat = true
+			lx.advance()
+			if lx.peek() == '+' || lx.peek() == '-' {
+				lx.advance()
+			}
+		} else {
+			break
+		}
+	}
+	text := lx.src[start:lx.off]
+	// Swallow C suffixes (f, L, u…) without altering the value.
+	for lx.off < len(lx.src) {
+		switch lx.peek() {
+		case 'f', 'F', 'l', 'L', 'u', 'U':
+			if lx.peek() == 'f' || lx.peek() == 'F' {
+				isFloat = true
+			}
+			lx.advance()
+		default:
+			goto done
+		}
+	}
+done:
+	if isFloat {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, lx.errf("bad float literal %q", text)
+		}
+		return Token{Kind: TokFloatLit, Text: text, Pos: pos, FloatVal: v}, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Token{}, lx.errf("bad int literal %q", text)
+	}
+	return Token{Kind: TokIntLit, Text: text, Pos: pos, IntVal: v}, nil
+}
+
+func (lx *Lexer) lexString() (Token, error) {
+	pos := lx.pos()
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			return Token{}, lx.errf("unterminated string literal")
+		}
+		c := lx.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			if lx.off >= len(lx.src) {
+				return Token{}, lx.errf("unterminated escape")
+			}
+			e := lx.advance()
+			dec, err := decodeEscape(e)
+			if err != nil {
+				return Token{}, lx.errf("%v", err)
+			}
+			sb.WriteByte(dec)
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return Token{Kind: TokStrLit, Text: sb.String(), Pos: pos}, nil
+}
+
+func (lx *Lexer) lexChar() (Token, error) {
+	pos := lx.pos()
+	lx.advance() // opening quote
+	if lx.off >= len(lx.src) {
+		return Token{}, lx.errf("unterminated char literal")
+	}
+	c := lx.advance()
+	if c == '\\' {
+		e := lx.advance()
+		dec, err := decodeEscape(e)
+		if err != nil {
+			return Token{}, lx.errf("%v", err)
+		}
+		c = dec
+	}
+	if lx.off >= len(lx.src) || lx.advance() != '\'' {
+		return Token{}, lx.errf("unterminated char literal")
+	}
+	return Token{Kind: TokCharLit, Text: string(c), Pos: pos, IntVal: int64(c)}, nil
+}
+
+var punct3 = []string{"<<=", ">>="}
+var punct2 = []string{
+	"==", "!=", "<=", ">=", "&&", "||", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "<<", ">>", "->", "&=", "|=", "^=",
+}
+
+func (lx *Lexer) lexPunct() (Token, error) {
+	pos := lx.pos()
+	rest := lx.src[lx.off:]
+	for _, p := range punct3 {
+		if strings.HasPrefix(rest, p) {
+			for range p {
+				lx.advance()
+			}
+			return Token{Kind: TokPunct, Text: p, Pos: pos}, nil
+		}
+	}
+	for _, p := range punct2 {
+		if strings.HasPrefix(rest, p) {
+			lx.advance()
+			lx.advance()
+			return Token{Kind: TokPunct, Text: p, Pos: pos}, nil
+		}
+	}
+	c := lx.advance()
+	switch c {
+	case '+', '-', '*', '/', '%', '=', '<', '>', '!', '&', '|', '^', '~',
+		'(', ')', '{', '}', '[', ']', ';', ',', '?', ':', '.':
+		return Token{Kind: TokPunct, Text: string(c), Pos: pos}, nil
+	}
+	return Token{}, lx.errf("unexpected character %q", c)
+}
+
+func decodeEscape(e byte) (byte, error) {
+	switch e {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	default:
+		return 0, fmt.Errorf("unknown escape \\%c", e)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

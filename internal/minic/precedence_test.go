@@ -1,0 +1,208 @@
+package minic
+
+import (
+	"testing"
+)
+
+// exprTree renders an AST expression back to a canonical, fully
+// parenthesized form so precedence can be asserted structurally.
+func exprTree(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return itoa(int(x.Value))
+	case *FloatLit:
+		return "f"
+	case *Ident:
+		return x.Name
+	case *Binary:
+		return "(" + exprTree(x.L) + x.Op + exprTree(x.R) + ")"
+	case *Unary:
+		return "(" + x.Op + exprTree(x.X) + ")"
+	case *Assign:
+		return "(" + exprTree(x.L) + x.Op + exprTree(x.R) + ")"
+	case *Cond:
+		return "(" + exprTree(x.C) + "?" + exprTree(x.T) + ":" + exprTree(x.F) + ")"
+	case *Index:
+		return exprTree(x.X) + "[" + exprTree(x.Idx) + "]"
+	case *Call:
+		s := x.Name + "("
+		for i, a := range x.Args {
+			if i > 0 {
+				s += ","
+			}
+			s += exprTree(a)
+		}
+		return s + ")"
+	case *Postfix:
+		return "(" + exprTree(x.X) + x.Op + ")"
+	case *Cast:
+		return "(cast " + exprTree(x.X) + ")"
+	default:
+		return "?"
+	}
+}
+
+// parseExpr extracts the expression of `int main() { return EXPR; }`.
+func parseExpr(t *testing.T, expr string) Expr {
+	t.Helper()
+	prog, err := Parse("int main() { int a, b, c, d; return " + expr + "; }")
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	ret := prog.Func("main").Body.Stmts[1].(*Return)
+	return ret.X
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"1 + 2 * 3", "(1+(2*3))"},
+		{"1 * 2 + 3", "((1*2)+3)"},
+		{"1 - 2 - 3", "((1-2)-3)"}, // left associative
+		{"a = b = c", "(a=(b=c))"}, // right associative
+		{"1 + 2 < 3 + 4", "((1+2)<(3+4))"},
+		{"1 < 2 == 3 < 4", "((1<2)==(3<4))"},
+		{"1 == 2 && 3 == 4", "((1==2)&&(3==4))"},
+		{"1 && 2 || 3 && 4", "((1&&2)||(3&&4))"},
+		{"1 | 2 ^ 3 & 4", "(1|(2^(3&4)))"},
+		{"1 << 2 + 3", "(1<<(2+3))"},
+		{"a + b << c", "((a+b)<<c)"},
+		{"-a * b", "((-a)*b)"},
+		{"!a && b", "((!a)&&b)"},
+		{"a ? b : c ? d : 1", "(a?b:(c?d:1))"},
+		{"a = b ? c : d", "(a=(b?c:d))"},
+		{"a % b * c", "((a%b)*c)"},
+		{"~a | b", "((~a)|b)"},
+		{"a++ + b", "((a++)+b)"},
+	}
+	for _, c := range cases {
+		got := exprTree(parseExpr(t, c.in))
+		if got != c.want {
+			t.Errorf("%q parsed as %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCompoundAssignOperators(t *testing.T) {
+	for _, op := range []string{"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="} {
+		src := "int main() { int a = 4; a " + op + " 2; return a; }"
+		if _, err := ParseAndCheck(src); err != nil {
+			t.Errorf("operator %s rejected: %v", op, err)
+		}
+	}
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	src := `
+/* header */ int /*mid*/ main() { // trailing
+	int a = /* inline */ 1; // more
+	/* multi
+	   line */
+	return a;
+}`
+	if _, err := ParseAndCheck(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHexAndSuffixedLiterals(t *testing.T) {
+	prog, err := ParseAndCheck(`int main() { long a = 0xFF; double b = 1.5f; long c = 10L; return (int)(a + c); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = prog
+}
+
+func TestDeepNesting(t *testing.T) {
+	src := `int main() { int x = ((((((1))))));
+	if (x) { if (x) { if (x) { while (x) { for (int i = 0; i < 1; i++) { x = 0; } break; } } } }
+	return x; }`
+	if _, err := ParseAndCheck(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindPragmasNested(t *testing.T) {
+	src := `
+int main() {
+	int x = 0, read; char *line; size_t n = 10;
+	line = (char*) malloc(10);
+	if (x == 0) {
+		#pragma mapreduce mapper key(x) value(x)
+		while ((read = getline(&line, &n, stdin)) != -1) { x = 1; printf("%d\t%d\n", x, x); }
+	}
+	return 0;
+}`
+	prog, err := ParseAndCheck(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(FindPragmas(prog)) != 1 {
+		t.Fatal("nested pragma not found")
+	}
+}
+
+func TestNonMapReducePragmaIgnoredByIsMapReduce(t *testing.T) {
+	prog, err := ParseAndCheck(`
+int main() {
+	int x = 0;
+	#pragma unroll 4
+	while (x < 3) { x++; }
+	return x;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pragmas := FindPragmas(prog)
+	if len(pragmas) != 1 || pragmas[0].IsMapReduce() {
+		t.Fatalf("pragmas = %v", pragmas)
+	}
+}
+
+func TestSemaTypePropagation(t *testing.T) {
+	prog, err := ParseAndCheck(`
+double scale(double x) { return x * 2.0; }
+int main() {
+	double d = scale(1.5);
+	int i = (int) d;
+	char *s = "abc";
+	char c = s[1];
+	return i + c;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Func("main").Body.Stmts
+	d := body[0].(*DeclStmt).Decls[0]
+	if d.Init.Type().Kind != TypeDouble {
+		t.Errorf("scale() type = %v", d.Init.Type())
+	}
+	c := body[3].(*DeclStmt).Decls[0]
+	if c.Init.Type().Kind != TypeChar {
+		t.Errorf("s[1] type = %v", c.Init.Type())
+	}
+}
+
+func TestSemaPointerErrors(t *testing.T) {
+	bad := []string{
+		`int main() { int a; return *a; }`,                    // deref non-pointer
+		`int main() { int a[3]; int b = a[0][1]; return b; }`, // over-index
+		`int main() { return &5; }`,                           // address of literal
+	}
+	for _, src := range bad {
+		if _, err := ParseAndCheck(src); err == nil {
+			t.Errorf("accepted: %q", src)
+		}
+	}
+}
+
+func TestBuiltinShadowRejected(t *testing.T) {
+	if _, err := ParseAndCheck(`int printf(int x) { return x; } int main() { return 0; }`); err == nil {
+		t.Fatal("shadowing printf accepted")
+	}
+}
+
+func TestDuplicateFunctionRejected(t *testing.T) {
+	if _, err := ParseAndCheck(`int f() { return 1; } int f() { return 2; } int main() { return f(); }`); err == nil {
+		t.Fatal("duplicate function accepted")
+	}
+}

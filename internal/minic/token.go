@@ -1,0 +1,92 @@
+// Package minic implements the frontend for the C subset ("MiniC") that
+// HeteroDoop programs are written in: a lexer that also captures
+// `#pragma mapreduce` annotations, a recursive-descent parser producing an
+// AST, a small type system, and a semantic checker. The HeteroDoop
+// translator (package compiler) consumes this AST, and the interpreter
+// (package interp) executes it on the simulated CPU and GPU.
+package minic
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokCharLit
+	TokStrLit
+	TokKeyword
+	TokPunct  // operators and punctuation
+	TokPragma // a full `#pragma ...` logical line (continuations joined)
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokIntLit:
+		return "integer literal"
+	case TokFloatLit:
+		return "float literal"
+	case TokCharLit:
+		return "char literal"
+	case TokStrLit:
+		return "string literal"
+	case TokKeyword:
+		return "keyword"
+	case TokPunct:
+		return "punctuation"
+	case TokPragma:
+		return "pragma"
+	default:
+		return fmt.Sprintf("TokKind(%d)", int(k))
+	}
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token. Text holds the raw spelling; for TokStrLit
+// and TokCharLit the quotes are stripped and escapes decoded.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+	// IntVal / FloatVal carry decoded literal values.
+	IntVal   int64
+	FloatVal float64
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s %q at %s", t.Kind, t.Text, t.Pos)
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "long": true, "short": true,
+	"float": true, "double": true, "void": true,
+	"unsigned": true, "signed": true, "const": true, "size_t": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
+	"return": true, "break": true, "continue": true, "sizeof": true,
+	"static": true, "struct": true, "NULL": true,
+}
+
+// IsTypeKeyword reports whether s begins a type in MiniC.
+func IsTypeKeyword(s string) bool {
+	switch s {
+	case "int", "char", "long", "short", "float", "double", "void",
+		"unsigned", "signed", "const", "size_t", "static":
+		return true
+	}
+	return false
+}

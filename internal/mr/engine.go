@@ -1,0 +1,522 @@
+package mr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kv"
+	"repro/internal/sim"
+)
+
+// RunJob executes a job on the simulated cluster and returns its stats.
+func RunJob(cfg ClusterConfig, exec Executor) (*JobStats, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:        cfg,
+		exec:       exec,
+		eng:        sim.NewEngine(),
+		rng:        sim.NewRNG(cfg.Seed),
+		stats:      &JobStats{},
+		jt:         newJobTracker(cfg, exec),
+		slaves:     make([]*taskTracker, cfg.Slaves),
+		attempts:   map[int][]*attemptRun{},
+		splitDone:  make([]bool, exec.NumSplits()),
+		speculated: map[int]bool{},
+	}
+	e.eng.SetEventLimit(50_000_000)
+	for n := 0; n < cfg.Slaves; n++ {
+		e.slaves[n] = &taskTracker{
+			node:    n,
+			cpuFree: cfg.Node.MapSlots,
+			gpuFree: cfg.Node.GPUs,
+			redFree: cfg.Node.ReduceSlots,
+			speedup: 0,
+		}
+	}
+	// Stagger initial heartbeats deterministically across the interval.
+	for n := 0; n < cfg.Slaves; n++ {
+		node := n
+		offset := cfg.HeartbeatSec * float64(n) / float64(cfg.Slaves)
+		e.eng.At(sim.Time(offset), func() { e.heartbeat(node) })
+	}
+	e.eng.Run()
+	if !e.jt.done() {
+		return nil, fmt.Errorf("mr: job did not complete (maps %d/%d, reduces %d/%d)",
+			e.jt.mapsDone, exec.NumSplits(), e.jt.reducesDone, exec.NumReducers())
+	}
+	e.stats.Makespan = float64(e.finish)
+	e.stats.MaxSpeedup = e.jt.maxSpeedup
+	e.collectOutput()
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.stats, nil
+}
+
+type engine struct {
+	cfg    ClusterConfig
+	exec   Executor
+	eng    *sim.Engine
+	rng    *sim.RNG
+	stats  *JobStats
+	jt     *jobTracker
+	slaves []*taskTracker
+	finish sim.Time
+	err    error
+
+	cpuDurSum, gpuDurSum float64
+	cpuDurN, gpuDurN     int
+
+	// attempts tracks in-flight executions per split (more than one when
+	// speculative execution launches a backup).
+	attempts   map[int][]*attemptRun
+	splitDone  []bool
+	speculated map[int]bool
+}
+
+// attemptRun is one in-flight map task attempt.
+type attemptRun struct {
+	split       int
+	tt          *taskTracker
+	onGPU       bool
+	speculative bool
+	ev          *sim.Event
+}
+
+// jobTracker tracks pending/completed work and the cluster-wide speedup.
+type jobTracker struct {
+	cfg          ClusterConfig
+	pending      []int // pending map split ids
+	pendingSet   map[int]bool
+	mapsDone     int
+	totalMaps    int
+	reducesDone  int
+	totalReduces int
+	maxSpeedup   float64
+
+	// mapResults holds functional outputs per split.
+	mapResults []MapAttempt
+	// reduceOut holds functional reduce outputs per partition.
+	reduceOut [][]kv.Pair
+	// reducesAssigned marks launched reduce tasks.
+	reducesAssigned []bool
+	// pendingShuffles are reduce tasks waiting for all maps to finish.
+	lastMapDone sim.Time
+}
+
+func newJobTracker(cfg ClusterConfig, exec Executor) *jobTracker {
+	jt := &jobTracker{
+		cfg:             cfg,
+		totalMaps:       exec.NumSplits(),
+		totalReduces:    exec.NumReducers(),
+		pendingSet:      map[int]bool{},
+		mapResults:      make([]MapAttempt, exec.NumSplits()),
+		reduceOut:       make([][]kv.Pair, exec.NumReducers()),
+		reducesAssigned: make([]bool, exec.NumReducers()),
+		maxSpeedup:      1,
+	}
+	for i := 0; i < jt.totalMaps; i++ {
+		jt.pending = append(jt.pending, i)
+		jt.pendingSet[i] = true
+	}
+	return jt
+}
+
+func (jt *jobTracker) remainingMaps() int { return jt.totalMaps - jt.mapsDone }
+
+func (jt *jobTracker) done() bool {
+	return jt.mapsDone == jt.totalMaps && jt.reducesDone == jt.totalReduces
+}
+
+// takeMap removes and returns a pending map task, preferring node-local
+// splits (data locality, paper §2.2).
+func (jt *jobTracker) takeMap(exec Executor, node int) (int, bool, bool) {
+	if len(jt.pending) == 0 {
+		return 0, false, false
+	}
+	for i, split := range jt.pending {
+		for _, loc := range exec.Locations(split) {
+			if loc == node {
+				jt.pending = append(jt.pending[:i], jt.pending[i+1:]...)
+				delete(jt.pendingSet, split)
+				return split, true, true
+			}
+		}
+	}
+	split := jt.pending[0]
+	jt.pending = jt.pending[1:]
+	delete(jt.pendingSet, split)
+	return split, false, true
+}
+
+// requeue returns a failed task to the pending queue.
+func (jt *jobTracker) requeue(split int) {
+	if !jt.pendingSet[split] {
+		jt.pending = append(jt.pending, split)
+		jt.pendingSet[split] = true
+	}
+}
+
+// taskTracker is one slave's state.
+type taskTracker struct {
+	node    int
+	cpuFree int
+	gpuFree int
+	redFree int
+	// gpuQueue holds tail-forced tasks waiting for a GPU slot.
+	gpuQueue []int
+	// Speedup bookkeeping (average GPU speedup over a CPU slot).
+	cpuSum, gpuSum float64
+	cpuN, gpuN     int
+	speedup        float64
+	// numMapsRemainingPerNode from the last heartbeat response.
+	remainingPerNode float64
+}
+
+func (tt *taskTracker) observe(duration float64, onGPU bool) {
+	if onGPU {
+		tt.gpuSum += duration
+		tt.gpuN++
+	} else {
+		tt.cpuSum += duration
+		tt.cpuN++
+	}
+	if tt.cpuN > 0 && tt.gpuN > 0 && tt.gpuSum > 0 {
+		tt.speedup = (tt.cpuSum / float64(tt.cpuN)) / (tt.gpuSum / float64(tt.gpuN))
+	}
+}
+
+// heartbeat is one TaskTracker->JobTracker exchange (paper §2.2): status
+// goes up, task assignments come down.
+func (e *engine) heartbeat(node int) {
+	if e.err != nil || e.jt.done() {
+		return
+	}
+	tt := e.slaves[node]
+	jt := e.jt
+
+	// Report speedup; the JobTracker remembers the maximum (Algorithm 2).
+	if tt.speedup > jt.maxSpeedup {
+		jt.maxSpeedup = tt.speedup
+	}
+
+	// TailScheduleOnJT: decide how many tasks to hand this tracker. One
+	// task per GPU may be prefetched into the driver's queue so the GPU
+	// never idles across a heartbeat gap (the GPU driver fetches new tasks
+	// eagerly, paper §5.1).
+	prefetch := e.cfg.Node.GPUs - len(tt.gpuQueue)
+	if prefetch < 0 {
+		prefetch = 0
+	}
+	free := tt.cpuFree + tt.gpuFree + prefetch
+	if e.cfg.Scheduler == TailSched {
+		jobTail := float64(e.cfg.Node.GPUs) * jt.maxSpeedup * float64(e.cfg.Slaves)
+		if float64(jt.remainingMaps()) <= jobTail {
+			// Job tail: at most numGPUs tasks per heartbeat so forced
+			// queues stay short.
+			free = e.cfg.Node.GPUs
+		}
+	}
+	tt.remainingPerNode = float64(jt.remainingMaps()) / float64(e.cfg.Slaves)
+
+	for i := 0; i < free; i++ {
+		split, local, ok := jt.takeMap(e.exec, node)
+		if !ok {
+			break
+		}
+		if local {
+			e.stats.DataLocalMaps++
+		}
+		e.placeMap(tt, split)
+	}
+
+	// Speculative execution: back up stragglers once the queue drains.
+	if e.cfg.SpeculativeExecution && len(jt.pending) == 0 && jt.remainingMaps() > 0 {
+		e.trySpeculate(tt)
+	}
+
+	// Reduce scheduling after slow start.
+	if jt.totalReduces > 0 && float64(jt.mapsDone) >= e.cfg.ReduceSlowstart*float64(jt.totalMaps) {
+		for p := 0; p < jt.totalReduces && tt.redFree > 0; p++ {
+			if jt.reducesAssigned[p] {
+				continue
+			}
+			jt.reducesAssigned[p] = true
+			tt.redFree--
+			e.launchReduce(tt, p)
+		}
+	}
+
+	e.eng.After(sim.Duration(e.cfg.HeartbeatSec), func() { e.heartbeat(node) })
+}
+
+// placeMap applies the TaskTracker-side policy (TailScheduleOnTT).
+func (e *engine) placeMap(tt *taskTracker, split int) {
+	switch e.cfg.Scheduler {
+	case CPUOnly:
+		e.startMap(tt, split, false)
+	case GPUFirst:
+		if tt.gpuFree > 0 {
+			e.startMap(tt, split, true)
+		} else if tt.cpuFree > 0 {
+			e.startMap(tt, split, false)
+		} else {
+			// Over-assigned; wait on the GPU queue.
+			tt.gpuQueue = append(tt.gpuQueue, split)
+		}
+	case TailSched:
+		taskTail := float64(e.cfg.Node.GPUs) * tt.speedup
+		if tt.speedup > 0 && tt.remainingPerNode <= taskTail {
+			// Task tail: force GPU execution even if the GPU is busy.
+			e.stats.ForcedGPUTasks++
+			if tt.gpuFree > 0 {
+				e.startMap(tt, split, true)
+			} else {
+				tt.gpuQueue = append(tt.gpuQueue, split)
+			}
+			return
+		}
+		if tt.gpuFree > 0 {
+			e.startMap(tt, split, true)
+		} else if tt.cpuFree > 0 {
+			e.startMap(tt, split, false)
+		} else {
+			tt.gpuQueue = append(tt.gpuQueue, split)
+		}
+	}
+}
+
+// startMap occupies a slot and schedules the task's completion.
+func (e *engine) startMap(tt *taskTracker, split int, onGPU bool) {
+	e.startAttempt(tt, split, onGPU, false)
+}
+
+func (e *engine) startAttempt(tt *taskTracker, split int, onGPU, speculative bool) {
+	if e.err != nil {
+		return
+	}
+	attempt, err := e.exec.MapTask(split, onGPU, tt.node)
+	if err != nil {
+		e.fail(fmt.Errorf("mr: map task %d on node %d: %w", split, tt.node, err))
+		return
+	}
+	if onGPU {
+		tt.gpuFree--
+	} else {
+		tt.cpuFree--
+	}
+	// Fault injection: a GPU attempt may fail partway; the driver reports
+	// the failure and Hadoop reschedules the task (paper §5.1).
+	failed := onGPU && e.cfg.GPUFailureRate > 0 && e.rng.Float64() < e.cfg.GPUFailureRate
+	duration := attempt.Duration
+	if failed {
+		duration *= 0.5 // detected mid-task
+	}
+	run := &attemptRun{split: split, tt: tt, onGPU: onGPU, speculative: speculative}
+	e.attempts[split] = append(e.attempts[split], run)
+	run.ev = e.eng.After(sim.Duration(duration), func() {
+		if onGPU {
+			tt.gpuFree++
+		} else {
+			tt.cpuFree++
+		}
+		e.dropAttempt(run)
+		switch {
+		case e.splitDone[split]:
+			// A sibling attempt already finished; nothing to record.
+		case failed:
+			e.stats.Retries++
+			if len(e.attempts[split]) == 0 {
+				e.jt.requeue(split)
+			}
+		default:
+			e.splitDone[split] = true
+			if speculative {
+				e.stats.SpeculativeWon++
+			}
+			// Kill the losing sibling attempts and free their slots
+			// (Hadoop kills the slower attempt when one commits).
+			for _, o := range e.attempts[split] {
+				o.ev.Cancel()
+				if o.onGPU {
+					o.tt.gpuFree++
+				} else {
+					o.tt.cpuFree++
+				}
+				e.drainGPUQueue(o.tt)
+			}
+			delete(e.attempts, split)
+			e.completeMap(tt, split, onGPU, attempt)
+		}
+		e.drainGPUQueue(tt)
+	})
+}
+
+// dropAttempt removes a finished attempt from its split's list.
+func (e *engine) dropAttempt(run *attemptRun) {
+	runs := e.attempts[run.split]
+	for i, o := range runs {
+		if o == run {
+			e.attempts[run.split] = append(runs[:i], runs[i+1:]...)
+			break
+		}
+	}
+	if len(e.attempts[run.split]) == 0 {
+		delete(e.attempts, run.split)
+	}
+}
+
+// drainGPUQueue starts a queued forced-GPU task if a slot is free.
+func (e *engine) drainGPUQueue(tt *taskTracker) {
+	if tt.gpuFree > 0 && len(tt.gpuQueue) > 0 {
+		next := tt.gpuQueue[0]
+		tt.gpuQueue = tt.gpuQueue[1:]
+		e.startMap(tt, next, true)
+	}
+}
+
+// trySpeculate launches one backup attempt on an idle CPU slot of tt when
+// the pending queue is empty and a running task would finish later than a
+// fresh local run would (the speculative-execution extension).
+func (e *engine) trySpeculate(tt *taskTracker) {
+	if tt.cpuFree <= 0 {
+		return
+	}
+	now := float64(e.eng.Now())
+	var best int = -1
+	var bestGain float64
+	for split := 0; split < len(e.splitDone); split++ {
+		if e.splitDone[split] || e.speculated[split] || len(e.attempts[split]) == 0 {
+			continue
+		}
+		est, err := e.exec.MapTask(split, false, tt.node)
+		if err != nil {
+			continue
+		}
+		origEnd := float64(e.attempts[split][0].ev.Time())
+		backupEnd := now + est.Duration
+		gain := origEnd - backupEnd
+		if gain > 0.2*est.Duration && gain > bestGain {
+			best = split
+			bestGain = gain
+		}
+	}
+	if best >= 0 {
+		e.speculated[best] = true
+		e.stats.SpeculativeLaunched++
+		e.startAttempt(tt, best, false, true)
+	}
+}
+
+func (e *engine) completeMap(tt *taskTracker, split int, onGPU bool, attempt MapAttempt) {
+	jt := e.jt
+	jt.mapResults[split] = attempt
+	jt.mapsDone++
+	jt.lastMapDone = e.eng.Now()
+	tt.observe(attempt.Duration, onGPU)
+	if onGPU {
+		e.stats.MapsOnGPU++
+		e.gpuDurSum += attempt.Duration
+		e.gpuDurN++
+	} else {
+		e.stats.MapsOnCPU++
+		e.cpuDurSum += attempt.Duration
+		e.cpuDurN++
+	}
+	if jt.mapsDone == jt.totalMaps {
+		if jt.totalReduces == 0 {
+			e.finishJob()
+		}
+		// Reducers still shuffling are released by their own scheduling
+		// below (launchReduce waits on lastMapDone via the maps-done gate).
+	}
+}
+
+// launchReduce models one reduce task: shuffle overlaps the map phase, and
+// the task finishes compute-time after both its shuffle and the last map
+// are done.
+func (e *engine) launchReduce(tt *taskTracker, p int) {
+	assign := e.eng.Now()
+	// The reduce executes functionally when all map inputs exist; defer
+	// the work until the map phase completes by polling on map completion
+	// via a gate event.
+	var gate func()
+	gate = func() {
+		if e.err != nil {
+			return
+		}
+		if e.jt.mapsDone < e.jt.totalMaps {
+			e.eng.After(sim.Duration(e.cfg.HeartbeatSec), gate)
+			return
+		}
+		inputs := make([][]kv.Pair, 0, e.jt.totalMaps)
+		for _, res := range e.jt.mapResults {
+			if res.Partitions != nil && p < len(res.Partitions) {
+				inputs = append(inputs, res.Partitions[p])
+			}
+		}
+		work, err := e.exec.ReduceTask(p, inputs)
+		if err != nil {
+			e.fail(fmt.Errorf("mr: reduce task %d: %w", p, err))
+			return
+		}
+		// Shuffle ran concurrently with maps from assignment; only the
+		// residual after the last map blocks the reducer.
+		shuffleDone := float64(assign) + work.ShuffleTime
+		if tail := float64(e.jt.lastMapDone) + 0.1*work.ShuffleTime; tail > shuffleDone {
+			shuffleDone = tail
+		}
+		now := float64(e.eng.Now())
+		if shuffleDone < now {
+			shuffleDone = now
+		}
+		e.eng.At(sim.Time(shuffleDone+work.ComputeTime), func() {
+			tt.redFree++
+			e.jt.reduceOut[p] = work.Output
+			e.jt.reducesDone++
+			if e.jt.done() {
+				e.finishJob()
+			}
+		})
+	}
+	gate()
+}
+
+func (e *engine) finishJob() {
+	e.finish = e.eng.Now()
+	e.eng.Halt()
+}
+
+func (e *engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.eng.Halt()
+}
+
+// collectOutput assembles the job's functional output.
+func (e *engine) collectOutput() {
+	if e.cpuDurN > 0 {
+		e.stats.MapTimeCPU = e.cpuDurSum / float64(e.cpuDurN)
+	}
+	if e.gpuDurN > 0 {
+		e.stats.MapTimeGPU = e.gpuDurSum / float64(e.gpuDurN)
+	}
+	jt := e.jt
+	if jt.totalReduces == 0 {
+		for _, res := range jt.mapResults {
+			e.stats.Output = append(e.stats.Output, res.MapOutput...)
+		}
+		// Map-only output files are unordered across tasks; canonicalize.
+		sort.SliceStable(e.stats.Output, func(i, j int) bool {
+			return kv.Compare(e.stats.Output[i].Key, e.stats.Output[j].Key) < 0
+		})
+		return
+	}
+	for _, out := range jt.reduceOut {
+		e.stats.Output = append(e.stats.Output, out...)
+	}
+}

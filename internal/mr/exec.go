@@ -1,0 +1,308 @@
+package mr
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/gpu"
+	"repro/internal/gpurt"
+	"repro/internal/hdfs"
+	"repro/internal/kv"
+	"repro/internal/streaming"
+)
+
+// JobProgram bundles a benchmark's MiniC sources.
+type JobProgram struct {
+	Name string
+	// MapSrc must carry a mapper pragma. CombineSrc (optional) carries a
+	// combiner pragma. ReduceSrc (optional) is a plain streaming filter.
+	MapSrc     string
+	CombineSrc string
+	ReduceSrc  string
+	// NumReducers is the job's reduce-task count (0 = map-only).
+	NumReducers int
+}
+
+// CompiledJob is a JobProgram after translation.
+type CompiledJob struct {
+	Program  JobProgram
+	MapC     *compiler.Compiled
+	CombineC *compiler.Compiled // nil if no combiner
+	MapF     *streaming.Filter  // CPU-side executables
+	CombineF *streaming.Filter
+	ReduceF  *streaming.Filter
+	Schema   kv.Schema
+}
+
+// CompileJob runs the HeteroDoop translator over a job's sources, yielding
+// both CPU (Hadoop Streaming) and GPU executables — the single-source
+// property of the paper.
+func CompileJob(p JobProgram) (*CompiledJob, error) {
+	mapC, err := compiler.Compile(p.MapSrc)
+	if err != nil {
+		return nil, fmt.Errorf("mr: job %s mapper: %w", p.Name, err)
+	}
+	cj := &CompiledJob{
+		Program: p,
+		MapC:    mapC,
+		MapF:    &streaming.Filter{Name: p.Name + "-map", Prog: mapC.HostProg},
+		Schema:  mapC.Schema,
+	}
+	if p.CombineSrc != "" {
+		combC, err := compiler.Compile(p.CombineSrc)
+		if err != nil {
+			return nil, fmt.Errorf("mr: job %s combiner: %w", p.Name, err)
+		}
+		cj.CombineC = combC
+		cj.CombineF = &streaming.Filter{Name: p.Name + "-combine", Prog: combC.HostProg}
+	}
+	if p.ReduceSrc != "" {
+		rf, err := streaming.NewFilter(p.Name+"-reduce", p.ReduceSrc)
+		if err != nil {
+			return nil, fmt.Errorf("mr: job %s reducer: %w", p.Name, err)
+		}
+		cj.ReduceF = rf
+	}
+	return cj, nil
+}
+
+// HardwareModel bundles the per-node device and CPU models plus the write
+// bandwidths shared by both task paths.
+type HardwareModel struct {
+	CPU    streaming.CPUModel
+	Device *gpu.Device
+	Opts   gpurt.Options
+	// DiskWriteGBs / HDFSWriteGBs feed the output-write model.
+	DiskWriteGBs float64
+	HDFSWriteGBs float64
+}
+
+// FunctionalExecutor runs every task for real: map splits come from the
+// simulated HDFS, CPU tasks interpret the streaming filters, GPU tasks run
+// the full Figure-1 driver, and reducers merge actual partitions. Used for
+// correctness tests and small-scale experiments.
+type FunctionalExecutor struct {
+	Job    *CompiledJob
+	FS     *hdfs.FS
+	Splits []hdfs.Split
+	HW     HardwareModel
+
+	// cache memoizes per-(split, device, local) attempts so re-runs and
+	// retries are cheap and deterministic.
+	cache map[mapKey]MapAttempt
+}
+
+type mapKey struct {
+	split int
+	onGPU bool
+	local bool
+}
+
+// NewFunctionalExecutor prepares an executor over an input path already
+// written to fs.
+func NewFunctionalExecutor(job *CompiledJob, fs *hdfs.FS, inputPath string, hw HardwareModel) (*FunctionalExecutor, error) {
+	splits, err := fs.FileSplits(inputPath)
+	if err != nil {
+		return nil, err
+	}
+	if hw.Device == nil {
+		return nil, fmt.Errorf("mr: hardware model needs a device")
+	}
+	return &FunctionalExecutor{Job: job, FS: fs, Splits: splits, HW: hw, cache: map[mapKey]MapAttempt{}}, nil
+}
+
+// NumSplits implements Executor.
+func (x *FunctionalExecutor) NumSplits() int { return len(x.Splits) }
+
+// NumReducers implements Executor.
+func (x *FunctionalExecutor) NumReducers() int { return x.Job.Program.NumReducers }
+
+// Locations implements Executor.
+func (x *FunctionalExecutor) Locations(split int) []int { return x.Splits[split].Locations }
+
+// MapTask implements Executor.
+func (x *FunctionalExecutor) MapTask(split int, onGPU bool, node int) (MapAttempt, error) {
+	sp := x.Splits[split]
+	key := mapKey{split: split, onGPU: onGPU, local: sp.IsLocal(node)}
+	if attempt, ok := x.cache[key]; ok {
+		return attempt, nil
+	}
+	input, err := x.FS.ReadSplit(sp)
+	if err != nil {
+		return MapAttempt{}, err
+	}
+	readTime := x.FS.ReadTime(sp, node)
+	var attempt MapAttempt
+	if onGPU {
+		res, err := gpurt.RunTask(x.HW.Device, x.Job.MapC, x.Job.CombineC, input, gpurt.TaskConfig{
+			NumReducers:   x.Job.Program.NumReducers,
+			Opts:          x.HW.Opts,
+			InputReadTime: readTime,
+			DiskWriteGBs:  x.HW.DiskWriteGBs,
+			HDFSWriteGBs:  x.HW.HDFSWriteGBs,
+		})
+		if err != nil {
+			return MapAttempt{}, err
+		}
+		attempt = MapAttempt{
+			Duration:    res.Total(),
+			Partitions:  res.Partitions,
+			MapOutput:   res.MapOutput,
+			OutputBytes: res.OutputBytes,
+		}
+	} else {
+		res, err := streaming.RunMapTask(x.Job.MapF, x.Job.CombineF, input, streaming.MapTaskConfig{
+			Schema:        x.Job.Schema,
+			NumReducers:   x.Job.Program.NumReducers,
+			CPU:           x.HW.CPU,
+			InputReadTime: readTime,
+			DiskWriteGBs:  x.HW.DiskWriteGBs,
+			HDFSWriteGBs:  x.HW.HDFSWriteGBs,
+		})
+		if err != nil {
+			return MapAttempt{}, err
+		}
+		attempt = MapAttempt{
+			Duration:    res.Times.Total(),
+			Partitions:  res.Partitions,
+			MapOutput:   res.MapOutput,
+			OutputBytes: res.OutputBytes,
+		}
+	}
+	x.cache[key] = attempt
+	return attempt, nil
+}
+
+// ReduceTask implements Executor.
+func (x *FunctionalExecutor) ReduceTask(p int, inputs [][]kv.Pair) (ReduceWork, error) {
+	var bytes int64
+	for _, in := range inputs {
+		bytes += int64(len(in)) * int64(x.Job.Schema.SlotKeyLen()+x.Job.Schema.SlotValLen()+12)
+	}
+	out, compute, err := streaming.RunReduce(x.Job.ReduceF, x.Job.Schema, inputs, x.HW.CPU)
+	if err != nil {
+		return ReduceWork{}, err
+	}
+	shuffle := float64(bytes) / 1e9 // fetched at ~1 GB/s aggregate
+	write := float64(int64(len(out))*24) / (x.writeGBs() * 1e9)
+	return ReduceWork{ShuffleTime: shuffle, ComputeTime: compute + write, Output: out}, nil
+}
+
+func (x *FunctionalExecutor) writeGBs() float64 {
+	if x.HW.HDFSWriteGBs > 0 {
+		return x.HW.HDFSWriteGBs
+	}
+	return 0.12
+}
+
+// SampledExecutor replays a handful of measured per-variant task durations
+// across an arbitrarily large task count — how the cluster-scale Figure-4
+// experiments keep the paper's Table-2 task counts tractable. It is
+// timing-only: no functional outputs flow to the reducers.
+type SampledExecutor struct {
+	Splits   int
+	Reducers int
+	Slaves   int
+	// CPUDur / GPUDur are per-variant durations; split i uses variant
+	// i % len(CPUDur).
+	CPUDur []float64
+	GPUDur []float64
+	// RemoteReadPenalty is added when the split is not node-local.
+	RemoteReadPenalty float64
+	// MapOutputBytes sizes the shuffle per map task.
+	MapOutputBytes int64
+	// ReduceCompute is the per-reducer merge+reduce+write time.
+	ReduceCompute float64
+	// ShuffleGBs is the reducer fetch bandwidth.
+	ShuffleGBs float64
+	// Jitter adds deterministic per-split duration variance (fraction of
+	// the sampled duration, uniform in ±Jitter). Real fileSplits differ in
+	// record mix, so task times spread; without variance, uniform tasks
+	// quantize the job into lockstep waves no real cluster exhibits.
+	Jitter float64
+	// NodeSpeed optionally scales task durations per node (inter-node
+	// heterogeneity, the paper's stated future work: a value of 2.0 makes
+	// that node's tasks twice as slow). Missing/zero entries mean 1.0.
+	NodeSpeed []float64
+}
+
+// nodeFactor returns the duration multiplier for a node.
+func (x *SampledExecutor) nodeFactor(node int) float64 {
+	if node < len(x.NodeSpeed) && x.NodeSpeed[node] > 0 {
+		return x.NodeSpeed[node]
+	}
+	return 1
+}
+
+// jitterFactor returns the deterministic duration multiplier for a split.
+func (x *SampledExecutor) jitterFactor(split int) float64 {
+	if x.Jitter == 0 {
+		return 1
+	}
+	h := uint64(split)*0x9E3779B97F4A7C15 + 0x85EBCA6B
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	u := float64(h%1_000_000) / 1_000_000 // [0,1)
+	return 1 + x.Jitter*(2*u-1)
+}
+
+// NumSplits implements Executor.
+func (x *SampledExecutor) NumSplits() int { return x.Splits }
+
+// NumReducers implements Executor.
+func (x *SampledExecutor) NumReducers() int { return x.Reducers }
+
+// Locations implements Executor. Placement mimics HDFS round-robin
+// primaries with two deterministic extra replicas.
+func (x *SampledExecutor) Locations(split int) []int {
+	if x.Slaves <= 1 {
+		return []int{0}
+	}
+	a := split % x.Slaves
+	b := (split*7 + 3) % x.Slaves
+	c := (split*13 + 5) % x.Slaves
+	return []int{a, b, c}
+}
+
+// MapTask implements Executor.
+func (x *SampledExecutor) MapTask(split int, onGPU bool, node int) (MapAttempt, error) {
+	var dur float64
+	if onGPU {
+		dur = x.GPUDur[split%len(x.GPUDur)]
+	} else {
+		dur = x.CPUDur[split%len(x.CPUDur)]
+	}
+	dur *= x.jitterFactor(split) * x.nodeFactor(node)
+	local := false
+	for _, loc := range x.Locations(split) {
+		if loc == node {
+			local = true
+			break
+		}
+	}
+	if !local {
+		dur += x.RemoteReadPenalty
+	}
+	return MapAttempt{Duration: dur, OutputBytes: x.MapOutputBytes}, nil
+}
+
+// ReduceTask implements Executor.
+func (x *SampledExecutor) ReduceTask(p int, inputs [][]kv.Pair) (ReduceWork, error) {
+	gbs := x.ShuffleGBs
+	if gbs == 0 {
+		gbs = 1.0
+	}
+	totalBytes := float64(x.MapOutputBytes) * float64(x.Splits) / float64(max(1, x.Reducers))
+	return ReduceWork{
+		ShuffleTime: totalBytes / (gbs * 1e9),
+		ComputeTime: x.ReduceCompute,
+	}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,136 @@
+package mr
+
+import (
+	"testing"
+)
+
+// heteroExec builds a workload on a cluster whose node 0 is much slower
+// than the rest — the inter-node heterogeneity scenario the paper defers
+// to future work.
+func heteroExec(slaves int) *SampledExecutor {
+	speeds := make([]float64, slaves)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	speeds[0] = 4 // node 0 is 4x slower
+	return &SampledExecutor{
+		Splits: 160, Reducers: 0, Slaves: slaves,
+		CPUDur: []float64{10}, GPUDur: []float64{2},
+		NodeSpeed: speeds, Jitter: 0.2,
+	}
+}
+
+func TestNodeSpeedSlowsTasks(t *testing.T) {
+	x := heteroExec(4)
+	slow, err := x.MapTask(1, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := x.MapTask(1, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 may pay a remote penalty; compare with locality factored out
+	// by using a split local to both comparisons' baseline.
+	if slow.Duration < 3*fast.Duration/2 {
+		t.Fatalf("slow node not slower: %v vs %v", slow.Duration, fast.Duration)
+	}
+}
+
+func TestSpeculativeExecutionHelpsStragglers(t *testing.T) {
+	run := func(spec bool) *JobStats {
+		stats, err := RunJob(ClusterConfig{
+			Slaves: 4, Node: NodeConfig{MapSlots: 4, ReduceSlots: 1},
+			Scheduler: CPUOnly, HeartbeatSec: 0.5,
+			SpeculativeExecution: spec, Seed: 3,
+		}, heteroExec(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	off := run(false)
+	on := run(true)
+	if on.SpeculativeLaunched == 0 {
+		t.Fatal("no speculative attempts launched")
+	}
+	if on.SpeculativeWon == 0 {
+		t.Fatal("no speculative attempt won")
+	}
+	if on.Makespan >= off.Makespan {
+		t.Fatalf("speculation did not help: %v vs %v", on.Makespan, off.Makespan)
+	}
+	total := on.MapsOnCPU + on.MapsOnGPU
+	if total != 160 {
+		t.Fatalf("completed maps = %d, want 160 (no double-counted splits)", total)
+	}
+}
+
+func TestSpeculativeExecutionDeterministic(t *testing.T) {
+	run := func() float64 {
+		stats, err := RunJob(ClusterConfig{
+			Slaves: 4, Node: NodeConfig{MapSlots: 4, ReduceSlots: 1},
+			Scheduler: CPUOnly, HeartbeatSec: 0.5,
+			SpeculativeExecution: true, Seed: 3,
+		}, heteroExec(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Makespan
+	}
+	if run() != run() {
+		t.Fatal("speculative runs diverge")
+	}
+}
+
+func TestSpeculationOffByDefault(t *testing.T) {
+	stats, err := RunJob(ClusterConfig{
+		Slaves: 2, Node: NodeConfig{MapSlots: 2, ReduceSlots: 1},
+		Scheduler: CPUOnly, HeartbeatSec: 0.5,
+	}, &SampledExecutor{Splits: 20, Slaves: 2, CPUDur: []float64{5}, GPUDur: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SpeculativeLaunched != 0 {
+		t.Fatal("speculation ran despite being disabled (Table 3: Off)")
+	}
+}
+
+func TestTailSchedulingUnderNodeHeterogeneity(t *testing.T) {
+	// With one slow node and GPUs everywhere, tail scheduling must still
+	// finish no later than GPU-first.
+	run := func(s SchedulerKind) float64 {
+		stats, err := RunJob(ClusterConfig{
+			Slaves: 4, Node: NodeConfig{MapSlots: 4, ReduceSlots: 1, GPUs: 1},
+			Scheduler: s, HeartbeatSec: 0.5, Seed: 9,
+		}, heteroExec(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Makespan
+	}
+	gf := run(GPUFirst)
+	tail := run(TailSched)
+	if tail > gf*1.05 {
+		t.Fatalf("tail (%v) much worse than GPU-first (%v) under heterogeneity", tail, gf)
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	x := &SampledExecutor{Splits: 100, Slaves: 2, CPUDur: []float64{10}, GPUDur: []float64{1}, Jitter: 0.35}
+	seen := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		a, _ := x.MapTask(i, false, x.Locations(i)[0])
+		b, _ := x.MapTask(i, false, x.Locations(i)[0])
+		if a.Duration != b.Duration {
+			t.Fatal("jitter not deterministic")
+		}
+		if a.Duration < 10*0.64 || a.Duration > 10*1.36 {
+			t.Fatalf("jitter out of bounds: %v", a.Duration)
+		}
+		seen[a.Duration] = true
+	}
+	if len(seen) < 50 {
+		t.Fatalf("jitter too coarse: %d distinct durations", len(seen))
+	}
+}

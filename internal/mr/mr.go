@@ -1,0 +1,178 @@
+// Package mr implements the Hadoop 1.x MapReduce engine that HeteroDoop
+// extends (paper §2.2, §5.1, §6): a JobTracker and per-slave TaskTrackers
+// communicating via heartbeats, map slots and per-GPU slots, data-local
+// task assignment, the shuffle/merge/reduce pipeline, task-failure
+// rescheduling, and three map schedulers — CPU-only (baseline Hadoop),
+// GPU-first, and HeteroDoop's tail scheduling (Algorithm 2).
+//
+// The engine runs on virtual time (package sim); task durations come from
+// an Executor, which either runs tasks functionally (integration tests,
+// small jobs) or replays sampled per-split measurements (cluster-scale
+// experiments).
+package mr
+
+import (
+	"fmt"
+
+	"repro/internal/kv"
+)
+
+// SchedulerKind selects the map-task scheduler.
+type SchedulerKind int
+
+// Schedulers.
+const (
+	// CPUOnly is baseline Hadoop: no GPU slots.
+	CPUOnly SchedulerKind = iota
+	// GPUFirst places a task on a free GPU if any, else a free CPU slot.
+	GPUFirst
+	// TailSched is HeteroDoop's Algorithm 2: GPU-first until the job/task
+	// tail begins, then tasks are forced onto GPUs.
+	//
+	// Note on fidelity: the paper's Algorithm 2 as printed compares
+	// `taskTail <= numMapsRemainingPerNode -> forceGPU`, which contradicts
+	// both the paper's prose and Figure 3 (the tail is when FEW tasks
+	// remain). We implement the semantics of Figure 3: force GPU when
+	// remaining-per-node <= taskTail, and throttle the JobTracker to
+	// numGPUs assignments per heartbeat when remaining <= jobTail.
+	TailSched
+)
+
+func (s SchedulerKind) String() string {
+	switch s {
+	case CPUOnly:
+		return "cpu-only"
+	case GPUFirst:
+		return "gpu-first"
+	case TailSched:
+		return "tail"
+	default:
+		return fmt.Sprintf("SchedulerKind(%d)", int(s))
+	}
+}
+
+// NodeConfig describes one slave node's slots (Table 3 rows "Max. Map
+// Slots Per Node" and "Max. Reduce Slots Per Node").
+type NodeConfig struct {
+	MapSlots    int // CPU map slots (== cores used for maps)
+	ReduceSlots int
+	GPUs        int // one reserved slot per GPU (consumes no CPU)
+}
+
+// ClusterConfig describes the simulated cluster for one job run.
+type ClusterConfig struct {
+	Name   string
+	Slaves int
+	Node   NodeConfig
+	// Scheduler selects the map scheduling policy.
+	Scheduler SchedulerKind
+	// HeartbeatSec is the TaskTracker heartbeat interval.
+	HeartbeatSec float64
+	// ReduceSlowstart is the completed-maps fraction before reduces launch
+	// (Table 3: 20%).
+	ReduceSlowstart float64
+	// ShuffleGBs is the per-reducer fetch bandwidth.
+	ShuffleGBs float64
+	// GPUFailureRate injects per-attempt GPU task failures for fault
+	// tolerance testing (0 = none).
+	GPUFailureRate float64
+	// SpeculativeExecution enables backup attempts for straggling map
+	// tasks on idle slots once the pending queue drains. The paper's runs
+	// disable it (Table 3); this reproduction implements it as an
+	// extension, mainly for the inter-node-heterogeneity scenario the
+	// paper defers to future work (§9).
+	SpeculativeExecution bool
+	// Seed drives all randomized decisions (failure draws).
+	Seed uint64
+}
+
+func (c *ClusterConfig) fillDefaults() {
+	if c.HeartbeatSec == 0 {
+		c.HeartbeatSec = 3.0
+	}
+	if c.ReduceSlowstart == 0 {
+		c.ReduceSlowstart = 0.2
+	}
+	if c.ShuffleGBs == 0 {
+		c.ShuffleGBs = 1.0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Validate checks the configuration.
+func (c *ClusterConfig) Validate() error {
+	if c.Slaves <= 0 {
+		return fmt.Errorf("mr: cluster needs at least one slave")
+	}
+	if c.Node.MapSlots <= 0 && c.Node.GPUs <= 0 {
+		return fmt.Errorf("mr: node has no map capacity")
+	}
+	if c.Scheduler != CPUOnly && c.Node.GPUs <= 0 {
+		return fmt.Errorf("mr: scheduler %v needs GPUs", c.Scheduler)
+	}
+	if c.Scheduler == CPUOnly && c.Node.GPUs > 0 {
+		return fmt.Errorf("mr: cpu-only scheduler must not have GPU slots")
+	}
+	return nil
+}
+
+// MapAttempt is the outcome of one map task execution.
+type MapAttempt struct {
+	// Duration is the end-to-end task time in seconds.
+	Duration float64
+	// Partitions holds per-reducer combined output (functional runs only).
+	Partitions [][]kv.Pair
+	// MapOutput holds map-only output (functional runs only).
+	MapOutput []kv.Pair
+	// OutputBytes sizes the intermediate output for the shuffle model.
+	OutputBytes int64
+}
+
+// ReduceWork is the outcome of one reduce task execution.
+type ReduceWork struct {
+	// ShuffleTime covers fetching this reducer's partitions.
+	ShuffleTime float64
+	// ComputeTime covers merge + reduce function + HDFS write.
+	ComputeTime float64
+	// Output holds the reducer's final pairs (functional runs only).
+	Output []kv.Pair
+}
+
+// Executor supplies task work to the engine.
+type Executor interface {
+	// NumSplits is the number of map tasks.
+	NumSplits() int
+	// NumReducers is the number of reduce tasks (0 = map-only).
+	NumReducers() int
+	// Locations lists the nodes holding split i's data.
+	Locations(split int) []int
+	// MapTask executes map task `split` on the given node and device.
+	MapTask(split int, onGPU bool, node int) (MapAttempt, error)
+	// ReduceTask executes reduce task p over the collected inputs.
+	ReduceTask(p int, inputs [][]kv.Pair) (ReduceWork, error)
+}
+
+// JobStats summarizes a completed job.
+type JobStats struct {
+	Makespan float64
+	// Device placement counts.
+	MapsOnCPU, MapsOnGPU int
+	// Retries counts failed GPU attempts that were rescheduled.
+	Retries int
+	// DataLocalMaps counts node-local map tasks.
+	DataLocalMaps int
+	// MaxSpeedup is the peak per-node GPU/CPU speedup the JobTracker saw.
+	MaxSpeedup float64
+	// ForcedGPUTasks counts tasks tail-forced onto GPUs.
+	ForcedGPUTasks int
+	// SpeculativeLaunched / SpeculativeWon count backup attempts and how
+	// many finished before the original (speculative execution extension).
+	SpeculativeLaunched, SpeculativeWon int
+	// Output is the job's final output (functional runs): reduce outputs
+	// concatenated in partition order, or map outputs for map-only jobs.
+	Output []kv.Pair
+	// MapTimeCPU / MapTimeGPU are the average durations observed.
+	MapTimeCPU, MapTimeGPU float64
+}

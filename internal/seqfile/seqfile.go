@@ -1,0 +1,187 @@
+// Package seqfile implements the Hadoop-compatible binary container that
+// HeteroDoop's GPU driver writes map+combine output into (the paper's
+// "SequenceFileFormat" with checksums, §5.2). Records carry fixed schema
+// kinds, length-prefixed key/value payloads, and a per-record CRC32.
+package seqfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/kv"
+)
+
+var magic = [4]byte{'S', 'E', 'Q', 'H'}
+
+// ErrCorrupt reports a failed structural or checksum validation.
+var ErrCorrupt = errors.New("seqfile: corrupt record")
+
+// Writer appends KV records to an underlying stream.
+type Writer struct {
+	w      *bufio.Writer
+	schema kv.Schema
+	count  uint64
+	closed bool
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer, schema kv.Schema) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	hdr := []byte{byte(schema.KeyKind), byte(schema.ValKind)}
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, schema: schema}, nil
+}
+
+// Append writes one record.
+func (w *Writer) Append(p kv.Pair) error {
+	if w.closed {
+		return errors.New("seqfile: write after Close")
+	}
+	key := w.schema.EncodeKey(p.Key)
+	val := w.schema.EncodeVal(p.Val)
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint32(lenBuf[0:4], uint32(len(key)))
+	binary.BigEndian.PutUint32(lenBuf[4:8], uint32(len(val)))
+	crc := crc32.NewIEEE()
+	crc.Write(lenBuf[:])
+	crc.Write(key)
+	crc.Write(val)
+	if _, err := w.w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(key); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(val); err != nil {
+		return err
+	}
+	var crcBuf [4]byte
+	binary.BigEndian.PutUint32(crcBuf[:], crc.Sum32())
+	if _, err := w.w.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count reports records appended so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Close writes the trailer (record count) and flushes.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var trailer [12]byte
+	copy(trailer[0:4], []byte{0xFF, 0xFF, 0xFF, 0xFF}) // trailer sentinel
+	binary.BigEndian.PutUint64(trailer[4:12], w.count)
+	if _, err := w.w.Write(trailer[:]); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader iterates the records of a stream produced by Writer.
+type Reader struct {
+	r      *bufio.Reader
+	schema kv.Schema
+	count  uint64
+	read   uint64
+	done   bool
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [6]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("seqfile: short header: %w", err)
+	}
+	if hdr[0] != magic[0] || hdr[1] != magic[1] || hdr[2] != magic[2] || hdr[3] != magic[3] {
+		return nil, fmt.Errorf("seqfile: bad magic %q", hdr[0:4])
+	}
+	schema := kv.Schema{KeyKind: kv.Kind(hdr[4]), ValKind: kv.Kind(hdr[5])}
+	return &Reader{r: br, schema: schema}, nil
+}
+
+// Schema returns the stream's key/value kinds. Slot lengths are
+// per-record (length-prefixed), so KeyLen/ValLen are not meaningful here.
+func (r *Reader) Schema() kv.Schema { return r.schema }
+
+// Next returns the next record, or io.EOF after the trailer.
+func (r *Reader) Next() (kv.Pair, error) {
+	if r.done {
+		return kv.Pair{}, io.EOF
+	}
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(r.r, lenBuf[:4]); err != nil {
+		return kv.Pair{}, fmt.Errorf("seqfile: truncated record: %w", err)
+	}
+	if lenBuf[0] == 0xFF && lenBuf[1] == 0xFF && lenBuf[2] == 0xFF && lenBuf[3] == 0xFF {
+		// Trailer.
+		var cnt [8]byte
+		if _, err := io.ReadFull(r.r, cnt[:]); err != nil {
+			return kv.Pair{}, fmt.Errorf("seqfile: truncated trailer: %w", err)
+		}
+		r.count = binary.BigEndian.Uint64(cnt[:])
+		r.done = true
+		if r.count != r.read {
+			return kv.Pair{}, fmt.Errorf("%w: trailer count %d != records read %d", ErrCorrupt, r.count, r.read)
+		}
+		return kv.Pair{}, io.EOF
+	}
+	if _, err := io.ReadFull(r.r, lenBuf[4:]); err != nil {
+		return kv.Pair{}, fmt.Errorf("seqfile: truncated record: %w", err)
+	}
+	keyLen := binary.BigEndian.Uint32(lenBuf[0:4])
+	valLen := binary.BigEndian.Uint32(lenBuf[4:8])
+	if keyLen > 1<<20 || valLen > 1<<20 {
+		return kv.Pair{}, fmt.Errorf("%w: implausible lengths %d/%d", ErrCorrupt, keyLen, valLen)
+	}
+	key := make([]byte, keyLen)
+	val := make([]byte, valLen)
+	if _, err := io.ReadFull(r.r, key); err != nil {
+		return kv.Pair{}, fmt.Errorf("seqfile: truncated key: %w", err)
+	}
+	if _, err := io.ReadFull(r.r, val); err != nil {
+		return kv.Pair{}, fmt.Errorf("seqfile: truncated value: %w", err)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r.r, crcBuf[:]); err != nil {
+		return kv.Pair{}, fmt.Errorf("seqfile: truncated crc: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(lenBuf[:])
+	crc.Write(key)
+	crc.Write(val)
+	if crc.Sum32() != binary.BigEndian.Uint32(crcBuf[:]) {
+		return kv.Pair{}, fmt.Errorf("%w: checksum mismatch at record %d", ErrCorrupt, r.read)
+	}
+	r.read++
+	return kv.Pair{Key: r.schema.DecodeKey(key), Val: r.schema.DecodeVal(val)}, nil
+}
+
+// ReadAll drains the reader.
+func ReadAll(r *Reader) ([]kv.Pair, error) {
+	var out []kv.Pair
+	for {
+		p, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+}

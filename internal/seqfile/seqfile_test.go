@@ -1,0 +1,208 @@
+package seqfile
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kv"
+)
+
+var testSchema = kv.Schema{KeyKind: kv.Bytes, ValKind: kv.Int, KeyLen: 16}
+
+func roundTrip(t *testing.T, schema kv.Schema, pairs []kv.Pair) []kv.Pair {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	pairs := []kv.Pair{
+		{Key: kv.StringValue("apple"), Val: kv.IntValue(3)},
+		{Key: kv.StringValue("banana"), Val: kv.IntValue(-7)},
+		{Key: kv.StringValue(""), Val: kv.IntValue(0)},
+	}
+	out := roundTrip(t, testSchema, pairs)
+	if len(out) != len(pairs) {
+		t.Fatalf("got %d pairs", len(out))
+	}
+	for i := range pairs {
+		if kv.Compare(out[i].Key, pairs[i].Key) != 0 || kv.Compare(out[i].Val, pairs[i].Val) != 0 {
+			t.Errorf("pair %d: %v != %v", i, out[i], pairs[i])
+		}
+	}
+}
+
+func TestEmptyFileRoundTrip(t *testing.T) {
+	out := roundTrip(t, testSchema, nil)
+	if len(out) != 0 {
+		t.Fatalf("got %d pairs from empty file", len(out))
+	}
+}
+
+func TestFloatSchema(t *testing.T) {
+	schema := kv.Schema{KeyKind: kv.Int, ValKind: kv.Float}
+	pairs := []kv.Pair{
+		{Key: kv.IntValue(1), Val: kv.FloatValue(3.14159)},
+		{Key: kv.IntValue(-5), Val: kv.FloatValue(-2.5e10)},
+	}
+	out := roundTrip(t, schema, pairs)
+	for i := range pairs {
+		if out[i].Key.I != pairs[i].Key.I || out[i].Val.F != pairs[i].Val.F {
+			t.Errorf("pair %d: %v != %v", i, out[i], pairs[i])
+		}
+	}
+}
+
+func TestCountTracked(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testSchema)
+	for i := 0; i < 5; i++ {
+		w.Append(kv.Pair{Key: kv.StringValue("k"), Val: kv.IntValue(int64(i))})
+	}
+	if w.Count() != 5 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	w.Close()
+	if err := w.Append(kv.Pair{}); err == nil {
+		t.Fatal("append after close accepted")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testSchema)
+	w.Append(kv.Pair{Key: kv.StringValue("hello"), Val: kv.IntValue(1)})
+	w.Close()
+	raw := buf.Bytes()
+	// Flip one payload byte (inside the key area, after the 6-byte header
+	// and 8-byte length prefix).
+	raw[6+8+2] ^= 0xFF
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testSchema)
+	w.Append(kv.Pair{Key: kv.StringValue("hello"), Val: kv.IntValue(1)})
+	w.Close()
+	raw := buf.Bytes()[:buf.Len()-6] // cut into the trailer
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Next() // record itself is fine
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("truncated trailer not detected: %v", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTSEQFILE"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestMissingTrailerCountMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testSchema)
+	w.Append(kv.Pair{Key: kv.StringValue("a"), Val: kv.IntValue(1)})
+	w.Append(kv.Pair{Key: kv.StringValue("b"), Val: kv.IntValue(2)})
+	w.Close()
+	raw := buf.Bytes()
+	// Tamper with the trailer count (last 8 bytes).
+	raw[len(raw)-1] = 99
+	r, _ := NewReader(bytes.NewReader(raw))
+	r.Next()
+	r.Next()
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("trailer count mismatch not detected: %v", err)
+	}
+}
+
+func TestSchemaPreserved(t *testing.T) {
+	var buf bytes.Buffer
+	schema := kv.Schema{KeyKind: kv.Float, ValKind: kv.Bytes, ValLen: 8}
+	w, _ := NewWriter(&buf, schema)
+	w.Close()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema().KeyKind != kv.Float || r.Schema().ValKind != kv.Bytes {
+		t.Fatalf("schema = %+v", r.Schema())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(keys []int64, vals []int64) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		schema := kv.Schema{KeyKind: kv.Int, ValKind: kv.Int}
+		var pairs []kv.Pair
+		for i := 0; i < n; i++ {
+			pairs = append(pairs, kv.Pair{Key: kv.IntValue(keys[i]), Val: kv.IntValue(vals[i])})
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, schema)
+		if err != nil {
+			return false
+		}
+		for _, p := range pairs {
+			if w.Append(p) != nil {
+				return false
+			}
+		}
+		if w.Close() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		out, err := ReadAll(r)
+		if err != nil || len(out) != len(pairs) {
+			return false
+		}
+		for i := range pairs {
+			if out[i].Key.I != pairs[i].Key.I || out[i].Val.I != pairs[i].Val.I {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("final time = %v, want 3", end)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineAfterAccumulates(t *testing.T) {
+	e := NewEngine()
+	var last Time
+	var step func()
+	n := 0
+	step = func() {
+		last = e.Now()
+		n++
+		if n < 5 {
+			e.After(2, step)
+		}
+	}
+	e.After(2, step)
+	e.Run()
+	if last != 10 {
+		t.Fatalf("last fire at %v, want 10", last)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("Fired = %d, want 0", e.Fired())
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(1, func() { got = append(got, 1); e.Halt() })
+	e.At(2, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v, want [1]", got)
+	}
+	// A second Run resumes from the queue.
+	e.Run()
+	if len(got) != 2 {
+		t.Fatalf("resume failed, got %v", got)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.RunUntil(3)
+	if len(got) != 3 {
+		t.Fatalf("RunUntil(3) fired %d events, want 3", len(got))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(got) != 5 {
+		t.Fatalf("Run after RunUntil fired %d total, want 5", len(got))
+	}
+}
+
+func TestEngineRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Fatalf("Now = %v, want 42", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(10)
+	var loop func()
+	loop = func() { e.After(1, loop) }
+	e.After(1, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("event limit did not trip")
+		}
+	}()
+	e.Run()
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seeded RNGs diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced degenerate stream")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(123)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(42)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGZipfSkew(t *testing.T) {
+	r := NewRNG(99)
+	const n = 100000
+	counts := make([]int, 100)
+	for i := 0; i < n; i++ {
+		counts[r.Zipf(100, 1.1)]++
+	}
+	// Rank 0 must dominate the tail decisively.
+	if counts[0] < 5*counts[50] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	for i, c := range counts {
+		if c == 0 && i < 10 {
+			t.Fatalf("head rank %d never drawn", i)
+		}
+	}
+}
+
+func TestRNGZipfBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 200; i++ {
+			v := r.Zipf(50, 1.2)
+			if v < 0 || v >= 50 {
+				return false
+			}
+		}
+		return r.Zipf(1, 1.2) == 0 && r.Zipf(0, 1.2) == 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	q := append([]int(nil), p...)
+	sort.Ints(q)
+	for i, v := range q {
+		if v != i {
+			t.Fatalf("Perm output not a permutation at %d: %v", i, v)
+		}
+	}
+}
+
+func TestEngineManyEventsStress(t *testing.T) {
+	e := NewEngine()
+	r := NewRNG(11)
+	var last Time
+	monotone := true
+	for i := 0; i < 5000; i++ {
+		at := Time(r.Float64() * 1000)
+		e.At(at, func() {
+			if e.Now() < last {
+				monotone = false
+			}
+			last = e.Now()
+		})
+	}
+	e.Run()
+	if !monotone {
+		t.Fatal("clock went backwards during stress run")
+	}
+	if e.Fired() != 5000 {
+		t.Fatalf("Fired = %d, want 5000", e.Fired())
+	}
+}

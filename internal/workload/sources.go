@@ -1,0 +1,558 @@
+// Package workload defines the paper's eight evaluation benchmarks
+// (Table 2) — Grep, Histmovies, Wordcount, Histratings, Linear Regression,
+// Kmeans, Classification, and BlackScholes — as MiniC map/combine/reduce
+// programs carrying the paper's HeteroDoop directives, plus synthetic
+// input generators standing in for the PUMA datasets.
+package workload
+
+// getWordHelper is the record tokenizer shared by the text benchmarks
+// (the helper the paper's Listing 1 calls).
+const getWordHelper = `
+int getWord(char *line, int offset, char *word, int read, int maxw) {
+	int i = offset, j = 0;
+	while (i < read && (line[i] == ' ' || line[i] == '\n' || line[i] == '\t')) i++;
+	while (i < read && line[i] != ' ' && line[i] != '\n' && line[i] != '\t' && j < maxw - 1) {
+		word[j] = line[i];
+		i++; j++;
+	}
+	if (j == 0) return -1;
+	word[j] = '\0';
+	return i - offset;
+}
+`
+
+// WordcountMap is the paper's Listing 1.
+const WordcountMap = getWordHelper + `
+int main() {
+	char word[30], *line;
+	size_t nbytes = 10000;
+	int read, linePtr, offset, one;
+	line = (char*) malloc(nbytes * sizeof(char));
+	#pragma mapreduce mapper key(word) value(one) keylength(30) kvpairs(48) blocks(30) threads(64)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		linePtr = 0;
+		offset = 0;
+		one = 1;
+		while ((linePtr = getWord(line, offset, word, read, 30)) != -1) {
+			printf("%s\t%d\n", word, one);
+			offset += linePtr;
+		}
+	}
+	free(line);
+	return 0;
+}`
+
+// WordcountCombine is the paper's Listing 2.
+const WordcountCombine = `
+int main() {
+	char word[30], prevWord[30];
+	prevWord[0] = '\0';
+	int count, val, read;
+	count = 0;
+	#pragma mapreduce combiner key(prevWord) value(count) keyin(word) valuein(val) keylength(30) firstprivate(prevWord, count) blocks(15) threads(64)
+	{
+		while ((read = scanf("%s %d", word, &val)) == 2) {
+			if (strcmp(word, prevWord) == 0) {
+				count += val;
+			} else {
+				if (prevWord[0] != '\0')
+					printf("%s\t%d\n", prevWord, count);
+				strcpy(prevWord, word);
+				count = val;
+			}
+		}
+		if (prevWord[0] != '\0')
+			printf("%s\t%d\n", prevWord, count);
+	}
+	return 0;
+}`
+
+// WordcountReduce is the combiner logic as a plain streaming filter.
+const WordcountReduce = `
+int main() {
+	char word[30], prevWord[30];
+	prevWord[0] = '\0';
+	int count, val, read;
+	count = 0;
+	while ((read = scanf("%s %d", word, &val)) == 2) {
+		if (strcmp(word, prevWord) == 0) {
+			count += val;
+		} else {
+			if (prevWord[0] != '\0')
+				printf("%s\t%d\n", prevWord, count);
+			strcpy(prevWord, word);
+			count = val;
+		}
+	}
+	if (prevWord[0] != '\0')
+		printf("%s\t%d\n", prevWord, count);
+	return 0;
+}`
+
+// GrepMap streams each record once, counting occurrences of the fixed
+// search pattern, and emits <pattern, count> for matching lines (PUMA
+// grep). IO-intensive: a few compares per byte scanned, nothing more.
+const GrepMap = `
+int main() {
+	char word[8], pattern[8], *line;
+	size_t nbytes = 10000;
+	int read, cnt;
+	strcpy(pattern, "ing");
+	line = (char*) malloc(nbytes * sizeof(char));
+	#pragma mapreduce mapper key(word) value(cnt) keylength(8) sharedRO(pattern) blocks(30) threads(64)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		cnt = 0;
+		for (int i = 0; i < read; i++) {
+			int j = 0;
+			while (pattern[j] != '\0' && i + j < read && line[i + j] == pattern[j]) j++;
+			if (pattern[j] == '\0') cnt++;
+		}
+		if (cnt > 0) {
+			strcpy(word, pattern);
+			printf("%s\t%d\n", word, cnt);
+		}
+	}
+	free(line);
+	return 0;
+}`
+
+// GrepCombine / GrepReduce count matched words, same as wordcount.
+const (
+	GrepCombine = WordcountCombine
+	GrepReduce  = WordcountReduce
+)
+
+// intSumCombine sums integer values per integer key (histogram combiner).
+const intSumCombine = `
+int main() {
+	int prevKey, count, key, val, read;
+	prevKey = -1;
+	count = 0;
+	#pragma mapreduce combiner key(prevKey) value(count) keyin(key) valuein(val) firstprivate(prevKey, count) blocks(15) threads(64)
+	{
+		while ((read = scanf("%d %d", &key, &val)) == 2) {
+			if (key == prevKey) {
+				count += val;
+			} else {
+				if (prevKey != -1)
+					printf("%d\t%d\n", prevKey, count);
+				prevKey = key;
+				count = val;
+			}
+		}
+		if (prevKey != -1)
+			printf("%d\t%d\n", prevKey, count);
+	}
+	return 0;
+}`
+
+// intSumReduce is the plain-filter version of intSumCombine.
+const intSumReduce = `
+int main() {
+	int prevKey, count, key, val, read;
+	prevKey = -1;
+	count = 0;
+	while ((read = scanf("%d %d", &key, &val)) == 2) {
+		if (key == prevKey) {
+			count += val;
+		} else {
+			if (prevKey != -1)
+				printf("%d\t%d\n", prevKey, count);
+			prevKey = key;
+			count = val;
+		}
+	}
+	if (prevKey != -1)
+		printf("%d\t%d\n", prevKey, count);
+	return 0;
+}`
+
+// HistmoviesMap averages each movie's ratings and bins the average
+// (bin = 2*avg, giving 0..18 for ratings 1..9). One KV per record:
+// IO-intensive.
+const HistmoviesMap = `
+int main() {
+	int bin, one, read;
+	char *line;
+	size_t nbytes = 10000;
+	line = (char*) malloc(nbytes * sizeof(char));
+	#pragma mapreduce mapper key(bin) value(one) kvpairs(1) blocks(30) threads(64)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		int i = 0, sum = 0, cnt = 0;
+		while (i < read && line[i] != ' ') i++;
+		while (i < read) {
+			if (line[i] >= '0' && line[i] <= '9') {
+				sum += atoi(line + i);
+				cnt++;
+				while (i < read && line[i] >= '0' && line[i] <= '9') i++;
+			} else {
+				i++;
+			}
+		}
+		if (cnt > 0) {
+			bin = (sum * 2) / cnt;
+			one = 1;
+			printf("%d\t%d\n", bin, one);
+		}
+	}
+	free(line);
+	return 0;
+}`
+
+// HistmoviesCombine / HistmoviesReduce sum bin counts.
+const (
+	HistmoviesCombine = intSumCombine
+	HistmoviesReduce  = intSumReduce
+)
+
+// HistratingsMap bins every individual rating: many KVs per record, so the
+// combiner sees much more data than histmovies — compute-intensive per the
+// paper.
+const HistratingsMap = `
+int main() {
+	int bin, one, read;
+	char *line;
+	size_t nbytes = 10000;
+	line = (char*) malloc(nbytes * sizeof(char));
+	#pragma mapreduce mapper key(bin) value(one) kvpairs(64) blocks(30) threads(64)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		int i = 0;
+		while (i < read && line[i] != ' ') i++;
+		while (i < read) {
+			if (line[i] >= '0' && line[i] <= '9') {
+				bin = atoi(line + i);
+				one = 1;
+				printf("%d\t%d\n", bin, one);
+				while (i < read && line[i] >= '0' && line[i] <= '9') i++;
+			} else {
+				i++;
+			}
+		}
+	}
+	free(line);
+	return 0;
+}`
+
+// HistratingsCombine / HistratingsReduce sum rating counts.
+const (
+	HistratingsCombine = intSumCombine
+	HistratingsReduce  = intSumReduce
+)
+
+// KmeansMap assigns each movie's rating vector to the nearest of 32
+// centroids over up to 32 dimensions and emits <centroid, vector>. The
+// centroid table is read-only with random access — the texture-memory
+// candidate of Fig. 7a — and record lengths vary, which is what record
+// stealing (Fig. 7d) exploits.
+const KmeansMap = `
+int main() {
+	double centroids[1024];
+	char vec[64];
+	char *line;
+	int cid, read;
+	int K = 32;
+	int D = 32;
+	size_t nbytes = 10000;
+	for (int k = 0; k < 32; k++) {
+		for (int d = 0; d < 32; d++) {
+			centroids[k * 32 + d] = (double)((k * 7 + d * 3) % 10);
+		}
+	}
+	line = (char*) malloc(nbytes * sizeof(char));
+	#pragma mapreduce mapper key(cid) value(vec) vallength(64) kvpairs(1) sharedRO(K, D) texture(centroids) blocks(30) threads(64)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		double pt[32];
+		int n = 0, i = 0, start;
+		while (i < read && line[i] != ' ') i++;
+		start = i + 1;
+		while (i < read && n < 32) {
+			if (line[i] >= '0' && line[i] <= '9') {
+				pt[n] = (double) atoi(line + i);
+				n++;
+				while (i < read && line[i] >= '0' && line[i] <= '9') i++;
+			} else {
+				i++;
+			}
+		}
+		if (n > 0) {
+			double best = 1.0e30;
+			cid = 0;
+			for (int k = 0; k < K; k++) {
+				double dist = 0.0;
+				for (int d = 0; d < n; d++) {
+					double diff = pt[d] - centroids[k * D + d];
+					dist += diff * diff;
+				}
+				if (dist < best) {
+					best = dist;
+					cid = k;
+				}
+			}
+			int j = 0;
+			while (start < read && line[start] != '\n' && j < 63) {
+				vec[j] = line[start];
+				start++;
+				j++;
+			}
+			vec[j] = '\0';
+			printf("%d\t%s\n", cid, vec);
+		}
+	}
+	free(line);
+	return 0;
+}`
+
+// KmeansReduce recomputes each cluster's centroid as the mean of its
+// member vectors (one kmeans iteration). No combiner (Table 2).
+const KmeansReduce = `
+int main() {
+	char vec[128];
+	double sums[32];
+	int cid, read, prevCid, members, d;
+	prevCid = -1;
+	members = 0;
+	for (d = 0; d < 32; d++) sums[d] = 0.0;
+	while ((read = scanf("%d %s", &cid, vec)) == 2) {
+		if (cid != prevCid) {
+			if (prevCid != -1 && members > 0) {
+				printf("%d\t", prevCid);
+				for (d = 0; d < 32; d++) {
+					if (d > 0) printf(",");
+					printf("%.3f", sums[d] / (double) members);
+				}
+				printf("\n");
+			}
+			prevCid = cid;
+			members = 0;
+			for (d = 0; d < 32; d++) sums[d] = 0.0;
+		}
+		int i = 0, n = 0;
+		while (vec[i] != '\0' && n < 32) {
+			if (vec[i] >= '0' && vec[i] <= '9') {
+				sums[n] += (double) atoi(vec + i);
+				n++;
+				while (vec[i] >= '0' && vec[i] <= '9') i++;
+			} else {
+				i++;
+			}
+		}
+		members++;
+	}
+	if (prevCid != -1 && members > 0) {
+		printf("%d\t", prevCid);
+		for (d = 0; d < 32; d++) {
+			if (d > 0) printf(",");
+			printf("%.3f", sums[d] / (double) members);
+		}
+		printf("\n");
+	}
+	return 0;
+}`
+
+// ClassificationMap is kmeans' single-pass cousin: classify each record to
+// its nearest centroid and emit <centroid, recordId>. No combiner.
+const ClassificationMap = `
+int main() {
+	double centroids[1024];
+	char *line;
+	int cid, movieId, read;
+	int K = 32;
+	int D = 32;
+	size_t nbytes = 10000;
+	for (int k = 0; k < 32; k++) {
+		for (int d = 0; d < 32; d++) {
+			centroids[k * 32 + d] = (double)((k * 7 + d * 3) % 10);
+		}
+	}
+	line = (char*) malloc(nbytes * sizeof(char));
+	#pragma mapreduce mapper key(cid) value(movieId) kvpairs(1) sharedRO(K, D) texture(centroids) blocks(30) threads(64)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		double pt[32];
+		int n = 0, i = 0;
+		movieId = atoi(line);
+		while (i < read && line[i] != ' ') i++;
+		while (i < read && n < 32) {
+			if (line[i] >= '0' && line[i] <= '9') {
+				pt[n] = (double) atoi(line + i);
+				n++;
+				while (i < read && line[i] >= '0' && line[i] <= '9') i++;
+			} else {
+				i++;
+			}
+		}
+		if (n > 0) {
+			double best = 1.0e30;
+			cid = 0;
+			for (int k = 0; k < K; k++) {
+				double dist = 0.0;
+				for (int d = 0; d < n; d++) {
+					double diff = pt[d] - centroids[k * D + d];
+					dist += diff * diff;
+				}
+				if (dist < best) {
+					best = dist;
+					cid = k;
+				}
+			}
+			printf("%d\t%d\n", cid, movieId);
+		}
+	}
+	free(line);
+	return 0;
+}`
+
+// ClassificationReduce counts the members classified into each centroid.
+const ClassificationReduce = `
+int main() {
+	int cid, movieId, read, prevCid, members;
+	prevCid = -1;
+	members = 0;
+	while ((read = scanf("%d %d", &cid, &movieId)) == 2) {
+		if (cid != prevCid) {
+			if (prevCid != -1)
+				printf("%d\t%d\n", prevCid, members);
+			prevCid = cid;
+			members = 0;
+		}
+		members++;
+	}
+	if (prevCid != -1)
+		printf("%d\t%d\n", prevCid, members);
+	return 0;
+}`
+
+// LinearRegressionMap emits the four per-regressor partial sums (x, y,
+// x*x, x*y) used for least-squares fitting, keyed regressor*4+component.
+// A smoothing transform adds the arithmetic intensity the paper's LR
+// exhibits.
+const LinearRegressionMap = `
+int main() {
+	int component, read;
+	double val;
+	char *line;
+	size_t nbytes = 10000;
+	line = (char*) malloc(nbytes * sizeof(char));
+	#pragma mapreduce mapper key(component) value(val) kvpairs(4) blocks(30) threads(64)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		int rid = atoi(line);
+		int i = 0, f = 0;
+		double x = 0.0, y = 0.0;
+		while (i < read) {
+			if (line[i] == ' ') {
+				f++;
+				if (f == 1) x = atof(line + i + 1);
+				if (f == 2) y = atof(line + i + 1);
+			}
+			i++;
+		}
+		double w = 1.0;
+		for (int it = 0; it < 24; it++) {
+			w = exp(log(w + 1.0e-9) * 0.5) * sqrt(1.0 + x * x * 0.001);
+		}
+		component = rid * 4;
+		val = x * w;
+		printf("%d\t%f\n", component, val);
+		component = rid * 4 + 1;
+		val = y * w;
+		printf("%d\t%f\n", component, val);
+		component = rid * 4 + 2;
+		val = x * x * w;
+		printf("%d\t%f\n", component, val);
+		component = rid * 4 + 3;
+		val = x * y * w;
+		printf("%d\t%f\n", component, val);
+	}
+	free(line);
+	return 0;
+}`
+
+// LinearRegressionCombine sums the double-valued partials per component.
+const LinearRegressionCombine = `
+int main() {
+	int prevKey, key, read;
+	double sum, val;
+	prevKey = -1;
+	sum = 0.0;
+	#pragma mapreduce combiner key(prevKey) value(sum) keyin(key) valuein(val) firstprivate(prevKey, sum) blocks(15) threads(64)
+	{
+		while ((read = scanf("%d %lf", &key, &val)) == 2) {
+			if (key == prevKey) {
+				sum += val;
+			} else {
+				if (prevKey != -1)
+					printf("%d\t%f\n", prevKey, sum);
+				prevKey = key;
+				sum = val;
+			}
+		}
+		if (prevKey != -1)
+			printf("%d\t%f\n", prevKey, sum);
+	}
+	return 0;
+}`
+
+// LinearRegressionReduce is the plain-filter version of the combiner.
+const LinearRegressionReduce = `
+int main() {
+	int prevKey, key, read;
+	double sum, val;
+	prevKey = -1;
+	sum = 0.0;
+	while ((read = scanf("%d %lf", &key, &val)) == 2) {
+		if (key == prevKey) {
+			sum += val;
+		} else {
+			if (prevKey != -1)
+				printf("%d\t%f\n", prevKey, sum);
+			prevKey = key;
+			sum = val;
+		}
+	}
+	if (prevKey != -1)
+		printf("%d\t%f\n", prevKey, sum);
+	return 0;
+}`
+
+// BlackScholesMap prices each option over 128 volatility scenarios
+// (paper §7.1: "128 iterations per option") — the most compute-intensive
+// benchmark and the only map-only one.
+const BlackScholesMap = `
+double CNDF(double x) {
+	return 0.5 * (1.0 + erf(x / sqrt(2.0)));
+}
+int main() {
+	int id, read;
+	double price;
+	char *line;
+	size_t nbytes = 10000;
+	line = (char*) malloc(nbytes * sizeof(char));
+	#pragma mapreduce mapper key(id) value(price) kvpairs(1) blocks(30) threads(64)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		double S = 0.0, X = 0.0, T = 0.0;
+		int i = 0, f = 0;
+		id = atoi(line);
+		while (i < read) {
+			if (line[i] == ' ') {
+				f++;
+				if (f == 1) S = atof(line + i + 1);
+				if (f == 2) X = atof(line + i + 1);
+				if (f == 3) T = atof(line + i + 1);
+			}
+			i++;
+		}
+		if (T < 0.01) T = 0.01;
+		if (X < 1.0) X = 1.0;
+		price = 0.0;
+		for (int it = 0; it < 128; it++) {
+			double sigma = 0.1 + (double) it * 0.002;
+			double sqrtT = sqrt(T);
+			double d1 = (log(S / X) + (0.05 + sigma * sigma / 2.0) * T) / (sigma * sqrtT);
+			double d2 = d1 - sigma * sqrtT;
+			price += S * CNDF(d1) - X * exp(-0.05 * T) * CNDF(d2);
+		}
+		price = price / 128.0;
+		printf("%d\t%f\n", id, price);
+	}
+	free(line);
+	return 0;
+}`

@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/mr"
+	"repro/internal/sim"
+)
+
+// Benchmark bundles one Table-2 application: its MiniC programs, input
+// generator, and the paper's per-cluster workload parameters.
+type Benchmark struct {
+	Code string // GR, HS, WC, HR, LR, KM, CL, BS
+	Name string
+	// Nature is "IO" or "Compute" (Table 2).
+	Nature string
+	// PctMapCombine is Table 2's "%Exec. Time Map + Combine are Active".
+	PctMapCombine int
+	// HasCombiner mirrors Table 2's Combiner column.
+	HasCombiner bool
+	// Job carries the sources. NumReducers is set per cluster at run time.
+	Job mr.JobProgram
+	// Gen produces approximately n bytes of input for the given seed.
+	Gen func(seed uint64, n int) []byte
+
+	// Table 2 parameters (Cluster1 / Cluster2). A zero value means the
+	// benchmark was not run on that cluster (KM on Cluster2).
+	ReduceTasksC1, ReduceTasksC2 int
+	MapTasksC1, MapTasksC2       int
+	InputGBC1, InputGBC2         float64
+}
+
+// OnCluster2 reports whether the paper ran this benchmark on Cluster2.
+func (b *Benchmark) OnCluster2() bool { return b.MapTasksC2 > 0 }
+
+// JobFor returns the JobProgram configured with the cluster's reducer
+// count (cluster 1 or 2).
+func (b *Benchmark) JobFor(clusterIdx int) mr.JobProgram {
+	job := b.Job
+	if clusterIdx == 2 {
+		job.NumReducers = b.ReduceTasksC2
+	} else {
+		job.NumReducers = b.ReduceTasksC1
+	}
+	return job
+}
+
+// All returns the eight benchmarks in Table 2 order.
+func All() []*Benchmark {
+	return []*Benchmark{
+		Grep(), Histmovies(), Wordcount(), Histratings(),
+		LinearRegression(), Kmeans(), Classification(), BlackScholes(),
+	}
+}
+
+// ByCode returns a benchmark by its two-letter code, or nil.
+func ByCode(code string) *Benchmark {
+	for _, b := range All() {
+		if b.Code == code {
+			return b
+		}
+	}
+	return nil
+}
+
+// Grep (GR): IO-intensive pattern search.
+func Grep() *Benchmark {
+	return &Benchmark{
+		Code: "GR", Name: "Grep", Nature: "IO", PctMapCombine: 69, HasCombiner: true,
+		Job:           mr.JobProgram{Name: "grep", MapSrc: GrepMap, CombineSrc: GrepCombine, ReduceSrc: GrepReduce},
+		Gen:           TextCorpus,
+		ReduceTasksC1: 16, ReduceTasksC2: 16,
+		MapTasksC1: 7632, MapTasksC2: 2880,
+		InputGBC1: 902, InputGBC2: 340,
+	}
+}
+
+// Histmovies (HS): IO-intensive histogram of per-movie average ratings.
+func Histmovies() *Benchmark {
+	return &Benchmark{
+		Code: "HS", Name: "Histmovies", Nature: "IO", PctMapCombine: 91, HasCombiner: true,
+		Job:           mr.JobProgram{Name: "histmovies", MapSrc: HistmoviesMap, CombineSrc: HistmoviesCombine, ReduceSrc: HistmoviesReduce},
+		Gen:           MovieRatings,
+		ReduceTasksC1: 8, ReduceTasksC2: 8,
+		MapTasksC1: 4800, MapTasksC2: 640,
+		InputGBC1: 1190, InputGBC2: 159,
+	}
+}
+
+// Wordcount (WC): IO-intensive word frequency count (Listings 1 and 2).
+func Wordcount() *Benchmark {
+	return &Benchmark{
+		Code: "WC", Name: "Wordcount", Nature: "IO", PctMapCombine: 91, HasCombiner: true,
+		Job:           mr.JobProgram{Name: "wordcount", MapSrc: WordcountMap, CombineSrc: WordcountCombine, ReduceSrc: WordcountReduce},
+		Gen:           TextCorpus,
+		ReduceTasksC1: 48, ReduceTasksC2: 32,
+		MapTasksC1: 5760, MapTasksC2: 1024,
+		InputGBC1: 844, InputGBC2: 151,
+	}
+}
+
+// Histratings (HR): compute-intensive histogram of individual ratings.
+func Histratings() *Benchmark {
+	return &Benchmark{
+		Code: "HR", Name: "Histratings", Nature: "Compute", PctMapCombine: 92, HasCombiner: true,
+		Job:           mr.JobProgram{Name: "histratings", MapSrc: HistratingsMap, CombineSrc: HistratingsCombine, ReduceSrc: HistratingsReduce},
+		Gen:           MovieRatings,
+		ReduceTasksC1: 5, ReduceTasksC2: 5,
+		MapTasksC1: 4800, MapTasksC2: 2560,
+		InputGBC1: 591, InputGBC2: 160,
+	}
+}
+
+// LinearRegression (LR): compute-intensive least-squares partials.
+func LinearRegression() *Benchmark {
+	return &Benchmark{
+		Code: "LR", Name: "Linear Regression", Nature: "Compute", PctMapCombine: 86, HasCombiner: true,
+		Job:           mr.JobProgram{Name: "linreg", MapSrc: LinearRegressionMap, CombineSrc: LinearRegressionCombine, ReduceSrc: LinearRegressionReduce},
+		Gen:           RegressionRows,
+		ReduceTasksC1: 16, ReduceTasksC2: 16,
+		MapTasksC1: 2560, MapTasksC2: 3840,
+		InputGBC1: 714, InputGBC2: 356,
+	}
+}
+
+// Kmeans (KM): compute-intensive clustering iteration. Not run on
+// Cluster2 (memory capacity, per the paper).
+func Kmeans() *Benchmark {
+	return &Benchmark{
+		Code: "KM", Name: "Kmeans", Nature: "Compute", PctMapCombine: 89, HasCombiner: false,
+		Job:           mr.JobProgram{Name: "kmeans", MapSrc: KmeansMap, ReduceSrc: KmeansReduce},
+		Gen:           MovieRatings,
+		ReduceTasksC1: 16, ReduceTasksC2: 16,
+		MapTasksC1: 4800, MapTasksC2: 0,
+		InputGBC1: 923, InputGBC2: 0,
+	}
+}
+
+// Classification (CL): compute-intensive single-pass centroid assignment.
+func Classification() *Benchmark {
+	return &Benchmark{
+		Code: "CL", Name: "Classification", Nature: "Compute", PctMapCombine: 92, HasCombiner: false,
+		Job:           mr.JobProgram{Name: "classification", MapSrc: ClassificationMap, ReduceSrc: ClassificationReduce},
+		Gen:           MovieRatings,
+		ReduceTasksC1: 16, ReduceTasksC2: 16,
+		MapTasksC1: 4800, MapTasksC2: 3200,
+		InputGBC1: 923, InputGBC2: 72,
+	}
+}
+
+// BlackScholes (BS): map-only option pricing, the most compute-intensive
+// benchmark.
+func BlackScholes() *Benchmark {
+	return &Benchmark{
+		Code: "BS", Name: "BlackScholes", Nature: "Compute", PctMapCombine: 100, HasCombiner: false,
+		Job:           mr.JobProgram{Name: "blackscholes", MapSrc: BlackScholesMap},
+		Gen:           Options,
+		ReduceTasksC1: 0, ReduceTasksC2: 0,
+		MapTasksC1: 3600, MapTasksC2: 5120,
+		InputGBC1: 890, InputGBC2: 210,
+	}
+}
+
+// ---- Input generators ----
+
+// dictionary for the text corpus; suffix variety makes some words match
+// grep's "ing" pattern.
+var dictionary = []string{
+	"the", "being", "of", "having", "processing", "data", "map", "reduce",
+	"running", "cluster", "node", "string", "compute", "scaling", "task",
+	"record", "working", "key", "value", "sort", "merging", "timing",
+	"disk", "memory", "thread", "warp", "kernel", "loading", "storing",
+	"graph", "model", "parsing", "stream", "writing", "reading", "block",
+}
+
+// TextCorpus generates ~n bytes of Zipf-distributed words in lines of
+// varying length (inputs for Grep and Wordcount).
+func TextCorpus(seed uint64, n int) []byte {
+	rng := sim.NewRNG(seed)
+	var b bytes.Buffer
+	b.Grow(n + 128)
+	for b.Len() < n {
+		words := 4 + rng.Intn(9)
+		for w := 0; w < words; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(dictionary[rng.Zipf(len(dictionary), 1.2)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// MovieRatings generates ~n bytes of "movieId r1,r2,..." lines with
+// heavily skewed ratings counts (a few blockbuster movies have many more
+// reviews), the skew that motivates record stealing.
+func MovieRatings(seed uint64, n int) []byte {
+	rng := sim.NewRNG(seed)
+	var b bytes.Buffer
+	b.Grow(n + 256)
+	id := int(seed % 100000)
+	for b.Len() < n {
+		id++
+		count := 6 + rng.Zipf(26, 1.3)
+		if rng.Intn(16) == 0 {
+			count += 12 + rng.Intn(14) // blockbuster
+		}
+		if count > 32 {
+			count = 32
+		}
+		fmt.Fprintf(&b, "%d ", id)
+		for r := 0; r < count; r++ {
+			if r > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", 1+rng.Intn(9))
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// RegressionRows generates ~n bytes of "rid x y" samples over 12
+// regressors (paper §7.1) with y correlated to x plus noise.
+func RegressionRows(seed uint64, n int) []byte {
+	rng := sim.NewRNG(seed)
+	var b bytes.Buffer
+	b.Grow(n + 128)
+	for b.Len() < n {
+		rid := rng.Intn(12)
+		x := rng.Float64() * 100
+		y := 3.5*x + 7 + rng.NormFloat64()*5
+		fmt.Fprintf(&b, "%d %.3f %.3f\n", rid, x, y)
+	}
+	return b.Bytes()
+}
+
+// Options generates ~n bytes of "id S K T" option quotes for
+// BlackScholes.
+func Options(seed uint64, n int) []byte {
+	rng := sim.NewRNG(seed)
+	var b bytes.Buffer
+	b.Grow(n + 128)
+	id := 0
+	for b.Len() < n {
+		id++
+		s := 50 + rng.Float64()*100
+		k := 50 + rng.Float64()*100
+		t := 0.2 + rng.Float64()*1.8
+		fmt.Fprintf(&b, "%d %.2f %.2f %.2f\n", id, s, k, t)
+	}
+	return b.Bytes()
+}

@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/gpurt"
+	"repro/internal/kv"
+	"repro/internal/mr"
+	"repro/internal/streaming"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("benchmarks = %d, want 8", len(all))
+	}
+	codes := map[string]bool{}
+	for _, b := range all {
+		codes[b.Code] = true
+	}
+	for _, c := range []string{"GR", "HS", "WC", "HR", "LR", "KM", "CL", "BS"} {
+		if !codes[c] {
+			t.Errorf("missing benchmark %s", c)
+		}
+		if ByCode(c) == nil {
+			t.Errorf("ByCode(%s) = nil", c)
+		}
+	}
+	if ByCode("XX") != nil {
+		t.Error("ByCode of unknown code should be nil")
+	}
+}
+
+func TestTable2Metadata(t *testing.T) {
+	// Spot-check Table 2 values.
+	wc := ByCode("WC")
+	if wc.MapTasksC1 != 5760 || wc.MapTasksC2 != 1024 || wc.ReduceTasksC1 != 48 {
+		t.Errorf("WC table2 data wrong: %+v", wc)
+	}
+	km := ByCode("KM")
+	if km.OnCluster2() {
+		t.Error("KM must not run on Cluster2 (memory limits)")
+	}
+	bs := ByCode("BS")
+	if bs.ReduceTasksC1 != 0 || bs.HasCombiner {
+		t.Error("BS must be map-only without combiner")
+	}
+	combiners := 0
+	for _, b := range All() {
+		if b.HasCombiner != (b.Job.CombineSrc != "") {
+			t.Errorf("%s: HasCombiner=%v but CombineSrc presence=%v", b.Code, b.HasCombiner, b.Job.CombineSrc != "")
+		}
+		if b.HasCombiner {
+			combiners++
+		}
+	}
+	if combiners != 5 {
+		t.Errorf("combiner-bearing benchmarks = %d, want 5 (GR HS WC HR LR)", combiners)
+	}
+}
+
+func TestAllBenchmarksCompile(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Code, func(t *testing.T) {
+			cj, err := mr.CompileJob(b.JobFor(1))
+			if err != nil {
+				t.Fatalf("%s does not compile: %v", b.Code, err)
+			}
+			if cj.MapC.CUDA == "" {
+				t.Error("no CUDA emission")
+			}
+			if b.HasCombiner && cj.CombineC == nil {
+				t.Error("combiner missing after compile")
+			}
+		})
+	}
+}
+
+func TestGeneratorsProduceParseableInput(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Code, func(t *testing.T) {
+			data := b.Gen(42, 4096)
+			if len(data) < 4096 {
+				t.Fatalf("generator produced %d bytes", len(data))
+			}
+			if data[len(data)-1] != '\n' {
+				t.Error("input must end with a newline")
+			}
+			lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+			if len(lines) < 10 {
+				t.Fatalf("only %d lines", len(lines))
+			}
+		})
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, b := range All() {
+		a := b.Gen(7, 2048)
+		c := b.Gen(7, 2048)
+		if string(a) != string(c) {
+			t.Errorf("%s generator not deterministic", b.Code)
+		}
+		d := b.Gen(8, 2048)
+		if string(a) == string(d) {
+			t.Errorf("%s generator ignores seed", b.Code)
+		}
+	}
+}
+
+func TestMovieRatingsSkewed(t *testing.T) {
+	data := MovieRatings(3, 1<<16)
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	minLen, maxLen := 1<<30, 0
+	for _, l := range lines {
+		if len(l) < minLen {
+			minLen = len(l)
+		}
+		if len(l) > maxLen {
+			maxLen = len(l)
+		}
+	}
+	if maxLen < 3*minLen {
+		t.Errorf("ratings records not skewed enough: min %d max %d", minLen, maxLen)
+	}
+}
+
+// aggregate normalizes job/task outputs into key->[]values text form so
+// the CPU and GPU paths can be compared after reduction semantics.
+func aggregate(pairs []kv.Pair) map[string][]string {
+	out := map[string][]string{}
+	for _, p := range pairs {
+		k := p.Key.Text()
+		out[k] = append(out[k], p.Val.Text())
+	}
+	for _, v := range out {
+		sort.Strings(v)
+	}
+	return out
+}
+
+// TestCPUAndGPUTaskOutputsAgree runs one map(+combine) task per benchmark
+// on both paths and checks that, once values are summed per key (what the
+// reducer does), the outputs match. This is the single-source-two-targets
+// guarantee of the paper.
+func TestCPUAndGPUTaskOutputsAgree(t *testing.T) {
+	dev, err := gpu.NewDevice(gpu.TeslaK40())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Code, func(t *testing.T) {
+			job := b.JobFor(1)
+			if job.NumReducers > 4 {
+				job.NumReducers = 4
+			}
+			cj, err := mr.CompileJob(job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			input := b.Gen(99, 8192)
+
+			cpuRes, err := streaming.RunMapTask(cj.MapF, cj.CombineF, input, streaming.MapTaskConfig{
+				Schema: cj.Schema, NumReducers: job.NumReducers,
+			})
+			if err != nil {
+				t.Fatalf("CPU task: %v", err)
+			}
+			gpuRes, err := gpurt.RunTask(dev, cj.MapC, cj.CombineC, input, gpurt.TaskConfig{
+				NumReducers: job.NumReducers, Opts: gpurt.AllOptimizations(),
+			})
+			if err != nil {
+				t.Fatalf("GPU task: %v", err)
+			}
+
+			var cpuPairs, gpuPairs []kv.Pair
+			if job.NumReducers == 0 {
+				cpuPairs = cpuRes.MapOutput
+				gpuPairs = gpuRes.MapOutput
+			} else {
+				for _, p := range cpuRes.Partitions {
+					cpuPairs = append(cpuPairs, p...)
+				}
+				for _, p := range gpuRes.Partitions {
+					gpuPairs = append(gpuPairs, p...)
+				}
+			}
+			// Combiners may partially combine on the GPU (relaxed
+			// equivalence); compare after summing numeric values per key,
+			// which is exactly what the reducers restore.
+			cpuAgg := sumByKey(cpuPairs, cj.Schema)
+			gpuAgg := sumByKey(gpuPairs, cj.Schema)
+			if len(cpuAgg) != len(gpuAgg) {
+				t.Fatalf("distinct keys differ: CPU %d vs GPU %d", len(cpuAgg), len(gpuAgg))
+			}
+			for k, v := range cpuAgg {
+				gv, ok := gpuAgg[k]
+				if !ok {
+					t.Fatalf("key %q missing from GPU output", k)
+				}
+				if !closeEnough(v, gv) {
+					t.Errorf("key %q: CPU %v vs GPU %v", k, v, gv)
+				}
+			}
+		})
+	}
+}
+
+// sumByKey folds values: numeric values sum; byte values concatenate in
+// sorted order.
+func sumByKey(pairs []kv.Pair, schema kv.Schema) map[string]float64 {
+	out := map[string]float64{}
+	if schema.ValKind == kv.Bytes {
+		sets := aggregate(pairs)
+		for k, vs := range sets {
+			out[k] = float64(len(vs))
+		}
+		return out
+	}
+	for _, p := range pairs {
+		switch p.Val.Kind {
+		case kv.Int:
+			out[p.Key.Text()] += float64(p.Val.I)
+		case kv.Float:
+			out[p.Key.Text()] += p.Val.F
+		}
+	}
+	return out
+}
+
+// closeEnough tolerates the %f text rounding (6 decimals) that the CPU
+// streaming path applies to float values but the GPU binary path does not.
+func closeEnough(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := a
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return diff < 1e-4 || diff/scale < 1e-5
+}
+
+// TestComputeBenchmarksGetHigherGPUSpeedup checks the Fig. 5 ordering
+// premise: compute-intensive benchmarks must see larger single-task GPU
+// speedups than IO-intensive ones.
+func TestComputeBenchmarksGetHigherGPUSpeedup(t *testing.T) {
+	dev, err := gpu.NewDevice(gpu.TeslaK40())
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := func(b *Benchmark) float64 {
+		job := b.JobFor(1)
+		if job.NumReducers > 4 {
+			job.NumReducers = 4
+		}
+		cj, err := mr.CompileJob(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		input := b.Gen(5, 16384)
+		cpuRes, err := streaming.RunMapTask(cj.MapF, cj.CombineF, input, streaming.MapTaskConfig{
+			Schema: cj.Schema, NumReducers: job.NumReducers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpuRes, err := gpurt.RunTask(dev, cj.MapC, cj.CombineC, input, gpurt.TaskConfig{
+			NumReducers: job.NumReducers, Opts: gpurt.AllOptimizations(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cpuRes.Times.Total() / gpuRes.Total()
+	}
+	bs := speedup(ByCode("BS"))
+	gr := speedup(ByCode("GR"))
+	if bs <= gr {
+		t.Errorf("BlackScholes speedup (%.2f) should exceed Grep's (%.2f)", bs, gr)
+	}
+	if bs < 5 {
+		t.Errorf("BlackScholes single-task speedup = %.2f, want >= 5 (paper: up to 47x)", bs)
+	}
+}
