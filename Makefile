@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt ci bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file needs reformatting (CI gate); run `gofmt -w .` to fix.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+ci: fmt vet build test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

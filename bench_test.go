@@ -15,6 +15,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/gpurt"
 	"repro/internal/mr"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -43,13 +44,22 @@ func BenchmarkTable3(b *testing.B) {
 func BenchmarkFig3TailScheduling(b *testing.B) {
 	var r experiments.Fig3Result
 	var err error
+	var rec *obs.Recorder
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.Fig3()
+		rec = obs.NewRecorder()
+		r, err = experiments.Fig3(experiments.Config{Obs: rec})
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(r.Improvement(), "tail-gain-x")
+	// Headline counters flow out through the metrics registry.
+	if forced, ok := rec.Metrics().Value("mr_forced_gpu_total", obs.L("sched", "tail")); ok {
+		b.ReportMetric(forced, "forced-gpu-tasks")
+	}
+	if wait, ok := rec.Metrics().Value("mr_gpu_queue_wait_seconds_total", obs.L("sched", "tail")); ok {
+		b.ReportMetric(wait, "gpu-queue-wait-s")
+	}
 }
 
 func BenchmarkFig4aCluster1(b *testing.B) {
@@ -148,10 +158,11 @@ func BenchmarkFig7eAggregation(b *testing.B)    { benchFig7(b, experiments.Fig7A
 // BenchmarkSchedulerAblation compares the three schedulers head-to-head on
 // one synthetic workload (the DESIGN.md scheduler ablation).
 func BenchmarkSchedulerAblation(b *testing.B) {
+	rec := obs.NewRecorder()
 	run := func(s mr.SchedulerKind, gpus int) float64 {
 		stats, err := mr.RunJob(mr.ClusterConfig{
 			Slaves: 8, Node: mr.NodeConfig{MapSlots: 4, ReduceSlots: 2, GPUs: gpus},
-			Scheduler: s, HeartbeatSec: 0.5,
+			Scheduler: s, HeartbeatSec: 0.5, Obs: rec,
 		}, &mr.SampledExecutor{
 			Splits: 640, Reducers: 16, Slaves: 8,
 			CPUDur: []float64{20}, GPUDur: []float64{2},
@@ -170,6 +181,9 @@ func BenchmarkSchedulerAblation(b *testing.B) {
 	}
 	b.ReportMetric(cpu/gf, "gpufirst-speedup-x")
 	b.ReportMetric(cpu/tail, "tail-speedup-x")
+	if hb, ok := rec.Metrics().Value("mr_heartbeats_total", obs.L("sched", "tail")); ok {
+		b.ReportMetric(hb/float64(b.N), "tail-heartbeats/op")
+	}
 }
 
 // BenchmarkStealingGranularity compares the three record-distribution

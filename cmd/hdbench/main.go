@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -23,13 +24,20 @@ func main() {
 	variants := flag.Int("variants", 2, "distinct splits sampled per benchmark and device")
 	taskScale := flag.Float64("task-scale", 1.0, "multiplier on the paper's Table-2 task counts")
 	seed := flag.Uint64("seed", 0, "input seed (0 = default)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the simulated jobs to this file")
+	metricsPath := flag.String("metrics", "", "write a Prometheus-style metrics dump to this file")
 	flag.Parse()
 
+	var rec *obs.Recorder
+	if *tracePath != "" || *metricsPath != "" {
+		rec = obs.NewRecorder()
+	}
 	cfg := experiments.Config{
 		SplitBytes: *splitKB << 10,
 		Variants:   *variants,
 		TaskScale:  *taskScale,
 		Seed:       *seed,
+		Obs:        rec,
 	}
 
 	wants := strings.Split(strings.ToLower(*exp), ",")
@@ -54,7 +62,7 @@ func main() {
 		ran++
 	}
 	if selected("fig3") {
-		r, err := experiments.Fig3()
+		r, err := experiments.Fig3(cfg)
 		check(err)
 		fmt.Print(experiments.FormatFig3(r))
 		fmt.Println()
@@ -121,6 +129,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hdbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	check(writeObs(rec, *tracePath, *metricsPath))
+}
+
+// writeObs dumps the recorder's trace and metrics to the requested files.
+func writeObs(rec *obs.Recorder, tracePath, metricsPath string) error {
+	if rec == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.Tracer().WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := rec.Metrics().WriteProm(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func check(err error) {

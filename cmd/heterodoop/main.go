@@ -20,6 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/mr"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -34,6 +35,8 @@ func main() {
 	failRate := flag.Float64("fail", 0, "GPU task failure injection rate")
 	outLines := flag.Int("out", 10, "output lines to print")
 	list := flag.Bool("list", false, "list benchmarks and exit")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
+	metricsPath := flag.String("metrics", "", "write a Prometheus-style metrics dump to this file")
 	flag.Parse()
 
 	if *list {
@@ -80,10 +83,14 @@ func main() {
 		setup.HDFS.Replication = *slaves
 	}
 
+	var rec *obs.Recorder
+	if *tracePath != "" || *metricsPath != "" {
+		rec = obs.NewRecorder()
+	}
 	input := b.Gen(*seed, *inputKB<<10)
 	res, err := core.Run(job, input, core.RunOptions{
 		Setup: &setup, Scheduler: scheduler, GPUs: *gpus,
-		GPUFailureRate: *failRate, Seed: *seed,
+		GPUFailureRate: *failRate, Seed: *seed, Obs: rec,
 	})
 	if err != nil {
 		fatal(err)
@@ -104,6 +111,12 @@ func main() {
 	if s.Retries > 0 {
 		fmt.Printf("fault tolerance : %d failed GPU attempts rescheduled\n", s.Retries)
 	}
+	fmt.Printf("phases          : map phase ended %.6fs, shuffle residual %.6fs\n",
+		s.MapPhaseEnd, s.ShuffleResidualSec)
+	if s.GPUQueuePeak > 0 {
+		fmt.Printf("gpu queue       : peak depth %d, total wait %.6fs\n",
+			s.GPUQueuePeak, s.GPUQueueWaitSec)
+	}
 	fmt.Printf("output          : %d records\n", len(res.Output))
 	lines := strings.Split(strings.TrimSpace(res.TextOutput()), "\n")
 	for i, line := range lines {
@@ -113,9 +126,52 @@ func main() {
 		}
 		fmt.Printf("  %s\n", line)
 	}
+	if err := writeObs(rec, *tracePath, *metricsPath); err != nil {
+		fatal(err)
+	}
+	if *tracePath != "" {
+		fmt.Printf("trace           : %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+	}
+	if *metricsPath != "" {
+		fmt.Printf("metrics         : %s\n", *metricsPath)
+	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "heterodoop:", err)
 	os.Exit(1)
+}
+
+// writeObs dumps the recorder's trace and metrics to the requested files.
+func writeObs(rec *obs.Recorder, tracePath, metricsPath string) error {
+	if rec == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.Tracer().WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := rec.Metrics().WriteProm(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

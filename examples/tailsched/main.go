@@ -20,7 +20,7 @@ import (
 
 func main() {
 	fmt.Println("== Paper Figure 3 scenario ==")
-	r, err := experiments.Fig3()
+	r, err := experiments.Fig3(experiments.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/hdfs"
 	"repro/internal/kv"
 	"repro/internal/mr"
+	"repro/internal/obs"
 	"repro/internal/streaming"
 )
 
@@ -102,6 +103,8 @@ type RunOptions struct {
 	GPUFailureRate float64
 	// Seed drives placement and failures.
 	Seed uint64
+	// Obs, when non-nil, records the run's trace spans and metrics.
+	Obs *obs.Recorder
 }
 
 // Result is a finished job.
@@ -164,12 +167,14 @@ func Run(job *Job, input []byte, opts RunOptions) (*Result, error) {
 		return nil, err
 	}
 	stats, err := mr.RunJob(mr.ClusterConfig{
+		Name:           job.compiled.Program.Name,
 		Slaves:         setup.Slaves,
 		Node:           setup.Node,
 		Scheduler:      sched,
 		HeartbeatSec:   scaledHeartbeat(setup),
 		GPUFailureRate: opts.GPUFailureRate,
 		Seed:           opts.Seed + 2,
+		Obs:            opts.Obs,
 	}, exec)
 	if err != nil {
 		return nil, err

@@ -19,6 +19,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/gpurt"
 	"repro/internal/mr"
+	"repro/internal/obs"
 	"repro/internal/streaming"
 	"repro/internal/workload"
 )
@@ -36,6 +37,8 @@ type Config struct {
 	// TaskScale multiplies the paper's Table-2 map task counts (1.0 =
 	// exact counts; tests use smaller values for speed).
 	TaskScale float64
+	// Obs, when non-nil, records every experiment job's spans and metrics.
+	Obs *obs.Recorder
 }
 
 func (c *Config) fillDefaults() {

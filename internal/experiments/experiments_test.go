@@ -45,7 +45,7 @@ func TestTable3MatchesPaper(t *testing.T) {
 }
 
 func TestFig3TailBeatsGPUFirst(t *testing.T) {
-	r, err := Fig3()
+	r, err := Fig3(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,11 +281,11 @@ func TestGeoMean(t *testing.T) {
 }
 
 func TestSampleDeterministic(t *testing.T) {
-	a, err := Fig3()
+	a, err := Fig3(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Fig3()
+	b, err := Fig3(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

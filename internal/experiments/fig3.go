@@ -26,8 +26,9 @@ func (r Fig3Result) Improvement() float64 {
 	return r.GPUFirstTime / r.TailTime
 }
 
-// Fig3 runs the two schedulers on the canonical scenario.
-func Fig3() (Fig3Result, error) {
+// Fig3 runs the two schedulers on the canonical scenario. Only cfg.Obs is
+// consulted: the scenario's task mix is fixed by the paper.
+func Fig3(cfg Config) (Fig3Result, error) {
 	const (
 		tasks   = 19
 		cpuTask = 60.0
@@ -41,8 +42,10 @@ func Fig3() (Fig3Result, error) {
 	}
 	run := func(s mr.SchedulerKind) (*mr.JobStats, error) {
 		return mr.RunJob(mr.ClusterConfig{
+			Name:   "fig3-" + s.String(),
 			Slaves: 1, Node: mr.NodeConfig{MapSlots: 2, ReduceSlots: 1, GPUs: 1},
 			Scheduler: s, HeartbeatSec: 0.5,
+			Obs: cfg.Obs,
 		}, exec())
 	}
 	gf, err := run(mr.GPUFirst)

@@ -120,8 +120,10 @@ func fig4Bench(b *workload.Benchmark, setup cluster.Setup, clusterIdx int,
 	}
 	run := func(node mr.NodeConfig, sched mr.SchedulerKind) (float64, error) {
 		stats, err := mr.RunJob(mr.ClusterConfig{
+			Name:   fmt.Sprintf("%s-%dgpu-%s", b.Code, node.GPUs, sched),
 			Slaves: setup.Slaves, Node: node, Scheduler: sched,
 			HeartbeatSec: heartbeat,
+			Obs:          cfg.Obs,
 		}, makeExec())
 		if err != nil {
 			return 0, err

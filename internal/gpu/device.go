@@ -142,6 +142,61 @@ func (c *DeviceConfig) AccessCost(s interp.MemSpace) float64 {
 	}
 }
 
+// CycleBreakdown attributes simulated cycles to the memory space (or
+// operation class) that consumed them — the per-kernel profiling substrate
+// behind the Figure-7 optimization analysis.
+type CycleBreakdown struct {
+	Op           float64 // scalar ALU/control
+	Global       float64 // uncoalesced global-memory traffic
+	Coalesced    float64 // coalesced/vectorized global transactions
+	Shared       float64 // shared-memory accesses
+	Constant     float64 // constant-memory reads
+	Texture      float64 // texture fetches
+	Register     float64 // register/private scalar traffic
+	Local        float64 // per-thread local memory
+	AtomicShared float64 // shared-memory atomics
+	AtomicGlobal float64 // global-memory atomics
+}
+
+// Add accumulates another breakdown into b.
+func (b *CycleBreakdown) Add(o CycleBreakdown) {
+	b.Op += o.Op
+	b.Global += o.Global
+	b.Coalesced += o.Coalesced
+	b.Shared += o.Shared
+	b.Constant += o.Constant
+	b.Texture += o.Texture
+	b.Register += o.Register
+	b.Local += o.Local
+	b.AtomicShared += o.AtomicShared
+	b.AtomicGlobal += o.AtomicGlobal
+}
+
+// Total sums every attributed cycle.
+func (b *CycleBreakdown) Total() float64 {
+	return b.Op + b.Global + b.Coalesced + b.Shared + b.Constant + b.Texture +
+		b.Register + b.Local + b.AtomicShared + b.AtomicGlobal
+}
+
+// chargeSpace attributes an access's cycles to the breakdown field of its
+// memory space.
+func (b *CycleBreakdown) chargeSpace(s interp.MemSpace, cycles float64) {
+	switch s {
+	case interp.SpaceTexture:
+		b.Texture += cycles
+	case interp.SpaceConstant:
+		b.Constant += cycles
+	case interp.SpaceShared:
+		b.Shared += cycles
+	case interp.SpaceReg:
+		b.Register += cycles
+	case interp.SpaceLocal:
+		b.Local += cycles
+	default:
+		b.Global += cycles
+	}
+}
+
 // ThreadCost accumulates the simulated cycles of one GPU thread. It
 // implements interp.CostSink so a thread's interpreter charges directly
 // into it.
@@ -153,6 +208,9 @@ type ThreadCost struct {
 	Ops     int64
 	Mem     int64
 	Atomics int64
+
+	// Breakdown attributes Cycles per memory space for kernel profiling.
+	Breakdown CycleBreakdown
 }
 
 // NewThreadCost returns a cost accumulator for cfg.
@@ -163,19 +221,25 @@ func NewThreadCost(cfg *DeviceConfig) *ThreadCost {
 // Op implements interp.CostSink.
 func (t *ThreadCost) Op(n int) {
 	t.Ops += int64(n)
-	t.Cycles += float64(n) * t.cfg.OpCost
+	c := float64(n) * t.cfg.OpCost
+	t.Cycles += c
+	t.Breakdown.Op += c
 }
 
 // Load implements interp.CostSink.
 func (t *ThreadCost) Load(s interp.MemSpace, w int) {
 	t.Mem++
-	t.Cycles += t.cfg.AccessCost(s)
+	c := t.cfg.AccessCost(s)
+	t.Cycles += c
+	t.Breakdown.chargeSpace(s, c)
 }
 
 // Store implements interp.CostSink.
 func (t *ThreadCost) Store(s interp.MemSpace, w int) {
 	t.Mem++
-	t.Cycles += t.cfg.AccessCost(s)
+	c := t.cfg.AccessCost(s)
+	t.Cycles += c
+	t.Breakdown.chargeSpace(s, c)
 }
 
 // CoalescedAccess charges n bytes moved with coalesced/vectorized
@@ -186,7 +250,9 @@ func (t *ThreadCost) CoalescedAccess(n, width int) {
 	}
 	transactions := (n + width - 1) / width
 	t.Mem += int64(transactions)
-	t.Cycles += float64(transactions) * t.cfg.CoalescedCost
+	c := float64(transactions) * t.cfg.CoalescedCost
+	t.Cycles += c
+	t.Breakdown.Coalesced += c
 }
 
 // StridedAccess charges n bytes moved one element at a time
@@ -194,7 +260,9 @@ func (t *ThreadCost) CoalescedAccess(n, width int) {
 // than a full random global transaction.
 func (t *ThreadCost) StridedAccess(n int) {
 	t.Mem += int64(n)
-	t.Cycles += float64(n) * t.cfg.GlobalCost * 0.5
+	c := float64(n) * t.cfg.GlobalCost * 0.5
+	t.Cycles += c
+	t.Breakdown.Global += c
 }
 
 // Atomic charges one atomic operation in the given space.
@@ -202,8 +270,10 @@ func (t *ThreadCost) Atomic(s interp.MemSpace) {
 	t.Atomics++
 	if s == interp.SpaceShared {
 		t.Cycles += t.cfg.AtomicShared
+		t.Breakdown.AtomicShared += t.cfg.AtomicShared
 	} else {
 		t.Cycles += t.cfg.AtomicGlobal
+		t.Breakdown.AtomicGlobal += t.cfg.AtomicGlobal
 	}
 }
 
@@ -224,8 +294,28 @@ func NewDevice(cfg DeviceConfig) (*Device, error) {
 // blocks are list-scheduled (longest-processing-time-first) onto the SMs
 // and the kernel finishes when the most loaded SM drains.
 func (d *Device) AggregateBlocks(blockCycles []float64) float64 {
+	p := d.AggregateBlocksProfile(blockCycles)
+	return p.Seconds
+}
+
+// BlockSchedule is the profiled outcome of one block-level aggregation:
+// the kernel time plus the balance diagnostics the observability layer
+// attaches to kernel spans.
+type BlockSchedule struct {
+	Seconds float64
+	// Occupancy is busy-SM-cycles / (SMs x critical-path cycles) under the
+	// list schedule; 1.0 means no SM idled while the kernel ran.
+	Occupancy float64
+	// StragglerSkew is max-block / mean-block cycles; 1.0 means uniform
+	// blocks, large values mean one straggler block gates the kernel.
+	StragglerSkew float64
+}
+
+// AggregateBlocksProfile is AggregateBlocks plus occupancy and straggler
+// diagnostics for kernel profiling.
+func (d *Device) AggregateBlocksProfile(blockCycles []float64) BlockSchedule {
 	if len(blockCycles) == 0 {
-		return d.Config.KernelLaunchUS * 1e-6
+		return BlockSchedule{Seconds: d.Config.KernelLaunchUS * 1e-6, Occupancy: 0, StragglerSkew: 1}
 	}
 	sorted := append([]float64(nil), blockCycles...)
 	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
@@ -241,12 +331,24 @@ func (d *Device) AggregateBlocks(blockCycles []float64) float64 {
 		sms[minIdx] += bc
 	}
 	max := 0.0
+	busy := 0.0
 	for _, s := range sms {
+		busy += s
 		if s > max {
 			max = s
 		}
 	}
-	return d.Config.CyclesToSeconds(max) + d.Config.KernelLaunchUS*1e-6
+	sched := BlockSchedule{
+		Seconds:       d.Config.CyclesToSeconds(max) + d.Config.KernelLaunchUS*1e-6,
+		StragglerSkew: 1,
+	}
+	if max > 0 {
+		sched.Occupancy = busy / (float64(d.Config.SMs) * max)
+	}
+	if mean := busy / float64(len(blockCycles)); mean > 0 {
+		sched.StragglerSkew = sorted[0] / mean
+	}
+	return sched
 }
 
 // StreamKernelTime is the analytic time for a memory-bound kernel that

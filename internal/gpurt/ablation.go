@@ -102,6 +102,7 @@ func execMapKernelGlobalSteal(dev *gpu.Device, comp *compiler.Compiled, cap *hos
 	// Loop-exit evaluation per active thread, then group lanes into their
 	// threadblocks for aggregation.
 	blockCycles := make([]float64, (totalLanes+tpb-1)/tpb)
+	var breakdown gpu.CycleBreakdown
 	for i, t := range threads {
 		if t.ran {
 			t.pending = -1
@@ -114,12 +115,17 @@ func execMapKernelGlobalSteal(dev *gpu.Device, comp *compiler.Compiled, cap *hos
 		if t.cost.Cycles > blockCycles[b] {
 			blockCycles[b] = t.cost.Cycles
 		}
+		breakdown.Add(t.cost.Breakdown)
 	}
+	sched := dev.AggregateBlocksProfile(blockCycles)
 	return &MapKernelResult{
-		Store:       store,
-		Records:     len(records),
-		Time:        dev.AggregateBlocks(blockCycles),
-		BlockCycles: blockCycles,
-		Steals:      steals,
+		Store:         store,
+		Records:       len(records),
+		Time:          sched.Seconds,
+		BlockCycles:   blockCycles,
+		Steals:        steals,
+		Breakdown:     breakdown,
+		Occupancy:     sched.Occupancy,
+		StragglerSkew: sched.StragglerSkew,
 	}, nil
 }

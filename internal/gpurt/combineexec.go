@@ -19,6 +19,15 @@ type CombineResult struct {
 	Time float64
 	// Warps is the total number of warp-chunks executed.
 	Warps int
+	// Breakdown attributes the combined launches' thread-cycles per memory
+	// space (summed over every warp of every partition).
+	Breakdown gpu.CycleBreakdown
+	// Blocks is the total number of threadblocks across partition launches.
+	Blocks int
+	// Occupancy / StragglerSkew profile the block schedules, averaged over
+	// partition launches weighted by their kernel time.
+	Occupancy     float64
+	StragglerSkew float64
 }
 
 // ExecCombineKernels runs the translated combine kernel over each sorted
@@ -65,12 +74,13 @@ func ExecCombineKernels(dev *gpu.Device, comp *compiler.Compiled, cap *hostCaptu
 			if hi > len(slots) {
 				hi = len(slots)
 			}
-			out, cycles, err := runCombineWarp(dev, comp, cap, store, slots[lo:hi], opts)
+			out, cycles, bd, err := runCombineWarp(dev, comp, cap, store, slots[lo:hi], opts)
 			if err != nil {
 				return nil, err
 			}
 			res.Partitions[p] = append(res.Partitions[p], out...)
 			warpCycles = append(warpCycles, cycles)
+			res.Breakdown.Add(bd)
 			res.Warps++
 		}
 		// Group warps into blocks; a block finishes with its slowest warp.
@@ -84,7 +94,15 @@ func ExecCombineKernels(dev *gpu.Device, comp *compiler.Compiled, cap *hostCaptu
 			}
 			blockCycles = append(blockCycles, max)
 		}
-		res.Time += dev.AggregateBlocks(blockCycles)
+		sched := dev.AggregateBlocksProfile(blockCycles)
+		res.Time += sched.Seconds
+		res.Blocks += len(blockCycles)
+		res.Occupancy += sched.Occupancy * sched.Seconds
+		res.StragglerSkew += sched.StragglerSkew * sched.Seconds
+	}
+	if res.Time > 0 {
+		res.Occupancy /= res.Time
+		res.StragglerSkew /= res.Time
 	}
 	return res, nil
 }
@@ -98,9 +116,10 @@ type combineWarp struct {
 }
 
 // runCombineWarp executes the combiner region once (warp-redundantly) over
-// a chunk of a sorted partition.
+// a chunk of a sorted partition, returning the warp's output, total cycles,
+// and per-space cycle breakdown.
 func runCombineWarp(dev *gpu.Device, comp *compiler.Compiled, cap *hostCapture,
-	store *KVStore, slots []int32, opts Options) ([]kv.Pair, float64, error) {
+	store *KVStore, slots []int32, opts Options) ([]kv.Pair, float64, gpu.CycleBreakdown, error) {
 
 	spec := comp.Kernel
 	w := &combineWarp{cost: gpu.NewThreadCost(&dev.Config), slots: slots}
@@ -109,11 +128,11 @@ func runCombineWarp(dev *gpu.Device, comp *compiler.Compiled, cap *hostCapture,
 	// Private arrays of combine kernels live in shared memory (paper §4.2).
 	priv, err := privateBindings(spec, cap, interp.SpaceShared)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, gpu.CycleBreakdown{}, err
 	}
 	shared, err := sharedBindings(spec, cap, opts)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, gpu.CycleBreakdown{}, err
 	}
 
 	mapSchema := store.Schema
@@ -184,9 +203,9 @@ func runCombineWarp(dev *gpu.Device, comp *compiler.Compiled, cap *hostCapture,
 		fr.Bind(sym, obj)
 	}
 	if _, err := m.ExecIn(fr, spec.Region); err != nil {
-		return nil, 0, err
+		return nil, 0, gpu.CycleBreakdown{}, err
 	}
-	return w.output, w.cost.Cycles, nil
+	return w.output, w.cost.Cycles, w.cost.Breakdown, nil
 }
 
 // writeBack stores a typed KV value through a destination pointer (a char

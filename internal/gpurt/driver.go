@@ -7,6 +7,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/gpu"
 	"repro/internal/kv"
+	"repro/internal/obs"
 	"repro/internal/seqfile"
 )
 
@@ -103,6 +104,9 @@ type TaskResult struct {
 	Steals     int64
 	// OutputBytes is the serialized output size.
 	OutputBytes int64
+	// Profiles holds one KernelProfile per kernel launch group
+	// (record-count, map, aggregate, sort, combine), in launch order.
+	Profiles []obs.KernelProfile
 }
 
 // Total returns the end-to-end task time.
@@ -134,6 +138,7 @@ func RunTask(dev *gpu.Device, mapC, combineC *compiler.Compiled, input []byte, c
 	records := LocateRecords(input)
 	res.Records = len(records)
 	res.Times.RecordCount = dev.StreamKernelTime(int64(len(input)), 1)
+	res.Profiles = append(res.Profiles, obs.KernelProfile{Kernel: "record-count", Seconds: res.Times.RecordCount})
 
 	// 3. Allocate the global KV store.
 	spec := mapC.Kernel
@@ -165,6 +170,15 @@ func RunTask(dev *gpu.Device, mapC, combineC *compiler.Compiled, input []byte, c
 	res.Steals = mres.Steals
 	res.KVPairs = store.TotalCount()
 	res.Whitespace = store.Whitespace()
+	res.Profiles = append(res.Profiles, obs.KernelProfile{
+		Kernel:        "map",
+		Seconds:       mres.Time,
+		Blocks:        len(mres.BlockCycles),
+		Occupancy:     mres.Occupancy,
+		StragglerSkew: mres.StragglerSkew,
+		Steals:        mres.Steals,
+		Cycles:        spaceCycles(mres.Breakdown),
+	})
 
 	// Map-only job: write output straight to HDFS.
 	if cfg.NumReducers <= 0 {
@@ -187,6 +201,7 @@ func RunTask(dev *gpu.Device, mapC, combineC *compiler.Compiled, input []byte, c
 	if cfg.Opts.Aggregation {
 		res.Times.Aggregate = dev.ScanTime(numThreads, 4) +
 			dev.StreamKernelTime(int64(store.TotalCount())*4, 2)
+		res.Profiles = append(res.Profiles, obs.KernelProfile{Kernel: "aggregate", Seconds: res.Times.Aggregate})
 	} else {
 		// Without compaction the sort must process each partition's share
 		// of the whitespace-laden store region. At our scaled split sizes
@@ -211,6 +226,7 @@ func RunTask(dev *gpu.Device, mapC, combineC *compiler.Compiled, input []byte, c
 		store.SortPartition(slots)
 		res.Times.Sort += dev.SortTime(sortSizes[p], keyBytes, cfg.Opts.VectorMap)
 	}
+	res.Profiles = append(res.Profiles, obs.KernelProfile{Kernel: "sort", Seconds: res.Times.Sort})
 	if combineC != nil {
 		ccap, err := captureHost(combineC, io.Discard)
 		if err != nil {
@@ -222,6 +238,14 @@ func RunTask(dev *gpu.Device, mapC, combineC *compiler.Compiled, input []byte, c
 		}
 		res.Partitions = cres.Partitions
 		res.Times.Combine = cres.Time
+		res.Profiles = append(res.Profiles, obs.KernelProfile{
+			Kernel:        "combine",
+			Seconds:       cres.Time,
+			Blocks:        cres.Blocks,
+			Occupancy:     cres.Occupancy,
+			StragglerSkew: cres.StragglerSkew,
+			Cycles:        spaceCycles(cres.Breakdown),
+		})
 	} else {
 		res.Partitions = make([][]kv.Pair, len(partitions))
 		for p, slots := range partitions {

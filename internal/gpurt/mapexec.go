@@ -177,6 +177,13 @@ type MapKernelResult struct {
 	Time        float64 // kernel time in seconds
 	BlockCycles []float64
 	Steals      int64
+	// Breakdown attributes the launch's total thread-cycles per memory
+	// space (summed over every thread of every block).
+	Breakdown gpu.CycleBreakdown
+	// Occupancy / StragglerSkew profile the block schedule (see
+	// gpu.BlockSchedule).
+	Occupancy     float64
+	StragglerSkew float64
 }
 
 // ExecMapKernel runs the translated map kernel over the located records,
@@ -224,6 +231,7 @@ func ExecMapKernel(dev *gpu.Device, comp *compiler.Compiled, cap *hostCapture,
 	blockCycles := make([]float64, blocks)
 	blockErrs := make([]error, blocks)
 	blockSteals := make([]int64, blocks)
+	blockBreakdowns := make([]gpu.CycleBreakdown, blocks)
 
 	var wg sync.WaitGroup
 	for b := 0; b < blocks; b++ {
@@ -238,9 +246,10 @@ func ExecMapKernel(dev *gpu.Device, comp *compiler.Compiled, cap *hostCapture,
 		wg.Add(1)
 		go func(b, lo, hi int) {
 			defer wg.Done()
-			cycles, steals, err := runMapBlock(dev, comp, cap, shared, ipObj, records[lo:hi], store, opts, b, tpb, kvBound, loop)
+			cycles, bd, steals, err := runMapBlock(dev, comp, cap, shared, ipObj, records[lo:hi], store, opts, b, tpb, kvBound, loop)
 			blockCycles[b] = cycles
 			blockSteals[b] = steals
+			blockBreakdowns[b] = bd
 			blockErrs[b] = err
 		}(b, lo, hi)
 	}
@@ -251,24 +260,31 @@ func ExecMapKernel(dev *gpu.Device, comp *compiler.Compiled, cap *hostCapture,
 		}
 	}
 	var steals int64
-	for _, s := range blockSteals {
+	var breakdown gpu.CycleBreakdown
+	for b, s := range blockSteals {
 		steals += s
+		breakdown.Add(blockBreakdowns[b])
 	}
+	sched := dev.AggregateBlocksProfile(blockCycles)
 	return &MapKernelResult{
-		Store:       store,
-		Records:     len(records),
-		Time:        dev.AggregateBlocks(blockCycles),
-		BlockCycles: blockCycles,
-		Steals:      steals,
+		Store:         store,
+		Records:       len(records),
+		Time:          sched.Seconds,
+		BlockCycles:   blockCycles,
+		Steals:        steals,
+		Breakdown:     breakdown,
+		Occupancy:     sched.Occupancy,
+		StragglerSkew: sched.StragglerSkew,
 	}, nil
 }
 
 // runMapBlock executes one threadblock's share of the records and returns
-// its total cycles (the max over its threads).
+// its total cycles (the max over its threads) plus the block's summed
+// per-space cycle breakdown.
 func runMapBlock(dev *gpu.Device, comp *compiler.Compiled, cap *hostCapture,
 	shared map[*minic.Symbol]*interp.Object, ipObj *interp.Object,
 	records []Record, store *KVStore, opts Options,
-	block, tpb, kvBound int, loop *minic.While) (float64, int64, error) {
+	block, tpb, kvBound int, loop *minic.While) (float64, gpu.CycleBreakdown, int64, error) {
 
 	spec := comp.Kernel
 	threads := make([]*mapThread, 0, tpb)
@@ -319,7 +335,7 @@ func runMapBlock(dev *gpu.Device, comp *compiler.Compiled, cap *hostCapture,
 	for lane := 0; lane < lanes; lane++ {
 		t, err := newThread(lane)
 		if err != nil {
-			return 0, 0, err
+			return 0, gpu.CycleBreakdown{}, 0, err
 		}
 		threads = append(threads, t)
 	}
@@ -349,20 +365,20 @@ func runMapBlock(dev *gpu.Device, comp *compiler.Compiled, cap *hostCapture,
 					}
 				}
 				if pick == nil {
-					return 0, 0, ErrStoreOverflow
+					return 0, gpu.CycleBreakdown{}, 0, ErrStoreOverflow
 				}
 			}
 			pick.cost.Atomic(interp.SpaceShared) // recordIndex counter
 			steals++
 			if err := runIteration(pick, rec); err != nil {
-				return 0, 0, err
+				return 0, gpu.CycleBreakdown{}, 0, err
 			}
 		}
 	} else {
 		// Static partitioning: record i goes to lane i % lanes.
 		for rec := 0; rec < len(records); rec++ {
 			if err := runIteration(threads[rec%lanes], rec); err != nil {
-				return 0, 0, err
+				return 0, gpu.CycleBreakdown{}, 0, err
 			}
 		}
 	}
@@ -370,19 +386,21 @@ func runMapBlock(dev *gpu.Device, comp *compiler.Compiled, cap *hostCapture,
 	// Final loop-condition evaluation: getRecord returns -1 and the user
 	// loop exits, assigning read = -1 as the real kernel would.
 	maxCycles := 0.0
+	var breakdown gpu.CycleBreakdown
 	for _, t := range threads {
 		if t.ran {
 			t.pending = -1
 			if _, err := t.machine.EvalIn(t.frame, t.cond); err != nil {
-				return 0, 0, err
+				return 0, gpu.CycleBreakdown{}, 0, err
 			}
 			t.cost.Op(16) // mapFinish bookkeeping
 		}
 		if t.cost.Cycles > maxCycles {
 			maxCycles = t.cost.Cycles
 		}
+		breakdown.Add(t.cost.Breakdown)
 	}
-	return maxCycles, steals, nil
+	return maxCycles, breakdown, steals, nil
 }
 
 // mapIntrinsics binds the GPU runtime functions for one map thread.

@@ -1,0 +1,24 @@
+package gpurt
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/obs"
+)
+
+// spaceCycles converts a device cycle breakdown into the fixed-order
+// per-space attribution the observability layer exports. Zero-cycle spaces
+// are kept here (the metrics registry skips them) so the order is stable.
+func spaceCycles(bd gpu.CycleBreakdown) []obs.SpaceCycles {
+	return []obs.SpaceCycles{
+		{Space: "op", Cycles: bd.Op},
+		{Space: "global", Cycles: bd.Global},
+		{Space: "coalesced", Cycles: bd.Coalesced},
+		{Space: "shared", Cycles: bd.Shared},
+		{Space: "constant", Cycles: bd.Constant},
+		{Space: "texture", Cycles: bd.Texture},
+		{Space: "register", Cycles: bd.Register},
+		{Space: "local", Cycles: bd.Local},
+		{Space: "atomic-shared", Cycles: bd.AtomicShared},
+		{Space: "atomic-global", Cycles: bd.AtomicGlobal},
+	}
+}

@@ -3,9 +3,21 @@ package mr
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/kv"
+	"repro/internal/obs"
 	"repro/internal/sim"
+)
+
+// Trace track lanes within each node's process: one row per concern so
+// overlapping activity stays readable in chrome://tracing.
+const (
+	laneHeartbeat  = 0
+	laneCPU        = 1
+	laneGPU        = 2
+	laneGPUQueue   = 3
+	laneReduceBase = 4 // + partition id
 )
 
 // RunJob executes a job on the simulated cluster and returns its stats.
@@ -26,6 +38,7 @@ func RunJob(cfg ClusterConfig, exec Executor) (*JobStats, error) {
 		splitDone:  make([]bool, exec.NumSplits()),
 		speculated: map[int]bool{},
 	}
+	e.initObs()
 	e.eng.SetEventLimit(50_000_000)
 	for n := 0; n < cfg.Slaves; n++ {
 		e.slaves[n] = &taskTracker{
@@ -53,6 +66,14 @@ func RunJob(cfg ClusterConfig, exec Executor) (*JobStats, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
+	jobName := cfg.Name
+	if jobName == "" {
+		jobName = "job"
+	}
+	e.trace.Span(obs.CatJob, jobName, 0, e.finish, cfg.Slaves, 0,
+		obs.Str("scheduler", cfg.Scheduler.String()),
+		obs.Int("maps", e.jt.totalMaps),
+		obs.Int("reduces", e.jt.totalReduces))
 	return e.stats, nil
 }
 
@@ -75,6 +96,57 @@ type engine struct {
 	attempts   map[int][]*attemptRun
 	splitDone  []bool
 	speculated map[int]bool
+
+	// Observability. All handles are nil-safe no-ops when cfg.Obs is nil.
+	trace *obs.Tracer
+	met   engineMetrics
+}
+
+// engineMetrics caches the registry instruments the hot paths touch. Every
+// field may be nil (no recorder) — all methods tolerate nil receivers.
+type engineMetrics struct {
+	heartbeats   *obs.Counter
+	assigned     *obs.Counter
+	local        *obs.Counter
+	retries      *obs.Counter
+	forced       *obs.Counter
+	specLaunched *obs.Counter
+	specWon      *obs.Counter
+	queueDepth   *obs.Gauge
+	queueWait    *obs.Counter
+	shuffleResid *obs.Counter
+	mapDurCPU    *obs.Histogram
+	mapDurGPU    *obs.Histogram
+	registry     *obs.Registry
+}
+
+func (e *engine) initObs() {
+	e.trace = e.cfg.Obs.Tracer()
+	reg := e.cfg.Obs.Metrics()
+	sched := obs.L("sched", e.cfg.Scheduler.String())
+	e.met = engineMetrics{
+		heartbeats:   reg.Counter("mr_heartbeats_total", "TaskTracker heartbeats processed", sched),
+		assigned:     reg.Counter("mr_maps_assigned_total", "Map tasks handed to TaskTrackers", sched),
+		local:        reg.Counter("mr_maps_local_total", "Data-local map assignments", sched),
+		retries:      reg.Counter("mr_map_retries_total", "Failed GPU attempts rescheduled", sched),
+		forced:       reg.Counter("mr_forced_gpu_total", "Tasks tail-forced onto GPUs", sched),
+		specLaunched: reg.Counter("mr_speculative_launched_total", "Speculative backup attempts", sched),
+		specWon:      reg.Counter("mr_speculative_won_total", "Backups that beat the original", sched),
+		queueDepth:   reg.Gauge("mr_gpu_queue_depth", "Tasks waiting in GPU driver queues, cluster-wide", sched),
+		queueWait:    reg.Counter("mr_gpu_queue_wait_seconds_total", "Summed forced-task GPU queue wait", sched),
+		shuffleResid: reg.Counter("mr_shuffle_residual_seconds_total", "Shuffle time left after the map phase", sched),
+		mapDurCPU:    reg.Histogram("mr_map_duration_seconds", "Winning map attempt durations", obs.DurationBuckets, obs.L("device", "cpu"), sched),
+		mapDurGPU:    reg.Histogram("mr_map_duration_seconds", "Winning map attempt durations", obs.DurationBuckets, obs.L("device", "gpu"), sched),
+		registry:     reg,
+	}
+	for n := 0; n < e.cfg.Slaves; n++ {
+		proc := "node" + strconv.Itoa(n)
+		e.trace.NameTrack(n, laneHeartbeat, proc, "heartbeat")
+		e.trace.NameTrack(n, laneCPU, proc, "cpu")
+		e.trace.NameTrack(n, laneGPU, proc, "gpu")
+		e.trace.NameTrack(n, laneGPUQueue, proc, "gpu-queue")
+	}
+	e.trace.NameTrack(e.cfg.Slaves, 0, "jobtracker", "job")
 }
 
 // attemptRun is one in-flight map task attempt.
@@ -86,11 +158,32 @@ type attemptRun struct {
 	ev          *sim.Event
 }
 
+// pendingEntry is one split occurrence in a jobTracker queue. gen pins the
+// occurrence to the split's enqueue generation so stale entries (from
+// before a take/requeue cycle) are skipped.
+type pendingEntry struct {
+	split int
+	gen   int
+}
+
 // jobTracker tracks pending/completed work and the cluster-wide speedup.
+//
+// The pending set is indexed for O(1) amortized assignment: one FIFO per
+// node holding the splits stored there plus a global FIFO, each consumed
+// through a head cursor with lazy deletion (an entry is live iff its split
+// is still pending at the same enqueue generation). Picks are identical to
+// the previous linear scan: the node queue yields the oldest pending local
+// split, the global queue the oldest pending split overall.
 type jobTracker struct {
 	cfg          ClusterConfig
-	pending      []int // pending map split ids
+	exec         Executor
 	pendingSet   map[int]bool
+	numPending   int
+	gen          []int
+	byNode       [][]pendingEntry
+	nodeHead     []int
+	global       []pendingEntry
+	globalHead   int
 	mapsDone     int
 	totalMaps    int
 	reducesDone  int
@@ -103,61 +196,104 @@ type jobTracker struct {
 	reduceOut [][]kv.Pair
 	// reducesAssigned marks launched reduce tasks.
 	reducesAssigned []bool
-	// pendingShuffles are reduce tasks waiting for all maps to finish.
+	// lastMapDone is when the map phase ended (gates reducers).
 	lastMapDone sim.Time
 }
 
 func newJobTracker(cfg ClusterConfig, exec Executor) *jobTracker {
 	jt := &jobTracker{
 		cfg:             cfg,
+		exec:            exec,
 		totalMaps:       exec.NumSplits(),
 		totalReduces:    exec.NumReducers(),
 		pendingSet:      map[int]bool{},
+		gen:             make([]int, exec.NumSplits()),
+		byNode:          make([][]pendingEntry, cfg.Slaves),
+		nodeHead:        make([]int, cfg.Slaves),
 		mapResults:      make([]MapAttempt, exec.NumSplits()),
 		reduceOut:       make([][]kv.Pair, exec.NumReducers()),
 		reducesAssigned: make([]bool, exec.NumReducers()),
 		maxSpeedup:      1,
 	}
 	for i := 0; i < jt.totalMaps; i++ {
-		jt.pending = append(jt.pending, i)
-		jt.pendingSet[i] = true
+		jt.enqueue(i)
 	}
 	return jt
 }
 
+// enqueue appends a split to the pending queues (initial fill and requeues
+// after failures). A fresh generation invalidates any stale entries left
+// from the split's previous time in the queue.
+func (jt *jobTracker) enqueue(split int) {
+	jt.gen[split]++
+	jt.pendingSet[split] = true
+	jt.numPending++
+	entry := pendingEntry{split: split, gen: jt.gen[split]}
+	jt.global = append(jt.global, entry)
+	for _, loc := range jt.exec.Locations(split) {
+		if loc >= 0 && loc < len(jt.byNode) {
+			jt.byNode[loc] = append(jt.byNode[loc], entry)
+		}
+	}
+}
+
+func (jt *jobTracker) live(e pendingEntry) bool {
+	return jt.pendingSet[e.split] && jt.gen[e.split] == e.gen
+}
+
+func (jt *jobTracker) take(split int) {
+	delete(jt.pendingSet, split)
+	jt.numPending--
+}
+
 func (jt *jobTracker) remainingMaps() int { return jt.totalMaps - jt.mapsDone }
+
+func (jt *jobTracker) pendingCount() int { return jt.numPending }
 
 func (jt *jobTracker) done() bool {
 	return jt.mapsDone == jt.totalMaps && jt.reducesDone == jt.totalReduces
 }
 
 // takeMap removes and returns a pending map task, preferring node-local
-// splits (data locality, paper §2.2).
-func (jt *jobTracker) takeMap(exec Executor, node int) (int, bool, bool) {
-	if len(jt.pending) == 0 {
+// splits (data locality, paper §2.2). Amortized O(1): every queue entry is
+// examined at most once over the job's lifetime.
+func (jt *jobTracker) takeMap(node int) (int, bool, bool) {
+	if jt.numPending == 0 {
 		return 0, false, false
 	}
-	for i, split := range jt.pending {
-		for _, loc := range exec.Locations(split) {
-			if loc == node {
-				jt.pending = append(jt.pending[:i], jt.pending[i+1:]...)
-				delete(jt.pendingSet, split)
-				return split, true, true
+	if node >= 0 && node < len(jt.byNode) {
+		q := jt.byNode[node]
+		for jt.nodeHead[node] < len(q) {
+			e := q[jt.nodeHead[node]]
+			jt.nodeHead[node]++
+			if jt.live(e) {
+				jt.take(e.split)
+				return e.split, true, true
 			}
 		}
 	}
-	split := jt.pending[0]
-	jt.pending = jt.pending[1:]
-	delete(jt.pendingSet, split)
-	return split, false, true
+	for jt.globalHead < len(jt.global) {
+		e := jt.global[jt.globalHead]
+		jt.globalHead++
+		if jt.live(e) {
+			jt.take(e.split)
+			return e.split, false, true
+		}
+	}
+	return 0, false, false
 }
 
 // requeue returns a failed task to the pending queue.
 func (jt *jobTracker) requeue(split int) {
 	if !jt.pendingSet[split] {
-		jt.pending = append(jt.pending, split)
-		jt.pendingSet[split] = true
+		jt.enqueue(split)
 	}
+}
+
+// gpuQueued is one tail-forced task waiting in a node's GPU driver queue.
+type gpuQueued struct {
+	split int
+	at    sim.Time
 }
 
 // taskTracker is one slave's state.
@@ -167,7 +303,7 @@ type taskTracker struct {
 	gpuFree int
 	redFree int
 	// gpuQueue holds tail-forced tasks waiting for a GPU slot.
-	gpuQueue []int
+	gpuQueue []gpuQueued
 	// Speedup bookkeeping (average GPU speedup over a CPU slot).
 	cpuSum, gpuSum float64
 	cpuN, gpuN     int
@@ -197,6 +333,8 @@ func (e *engine) heartbeat(node int) {
 	}
 	tt := e.slaves[node]
 	jt := e.jt
+	e.met.heartbeats.Inc()
+	e.trace.Instant(obs.CatHeartbeat, "hb", e.eng.Now(), node, laneHeartbeat)
 
 	// Report speedup; the JobTracker remembers the maximum (Algorithm 2).
 	if tt.speedup > jt.maxSpeedup {
@@ -204,10 +342,13 @@ func (e *engine) heartbeat(node int) {
 	}
 
 	// TailScheduleOnJT: decide how many tasks to hand this tracker. One
-	// task per GPU may be prefetched into the driver's queue so the GPU
-	// never idles across a heartbeat gap (the GPU driver fetches new tasks
-	// eagerly, paper §5.1).
-	prefetch := e.cfg.Node.GPUs - len(tt.gpuQueue)
+	// task per busy GPU may be prefetched into the driver's queue so the
+	// GPU never idles across a heartbeat gap (the GPU driver fetches new
+	// tasks eagerly, paper §5.1). Free GPUs are already counted in the
+	// free-slot total, so prefetch only covers the busy ones — counting
+	// all GPUs here would double-count the free ones and over-assign.
+	busyGPUs := e.cfg.Node.GPUs - tt.gpuFree
+	prefetch := busyGPUs - len(tt.gpuQueue)
 	if prefetch < 0 {
 		prefetch = 0
 	}
@@ -223,18 +364,20 @@ func (e *engine) heartbeat(node int) {
 	tt.remainingPerNode = float64(jt.remainingMaps()) / float64(e.cfg.Slaves)
 
 	for i := 0; i < free; i++ {
-		split, local, ok := jt.takeMap(e.exec, node)
+		split, local, ok := jt.takeMap(node)
 		if !ok {
 			break
 		}
+		e.met.assigned.Inc()
 		if local {
 			e.stats.DataLocalMaps++
+			e.met.local.Inc()
 		}
 		e.placeMap(tt, split)
 	}
 
 	// Speculative execution: back up stragglers once the queue drains.
-	if e.cfg.SpeculativeExecution && len(jt.pending) == 0 && jt.remainingMaps() > 0 {
+	if e.cfg.SpeculativeExecution && jt.pendingCount() == 0 && jt.remainingMaps() > 0 {
 		e.trySpeculate(tt)
 	}
 
@@ -265,17 +408,18 @@ func (e *engine) placeMap(tt *taskTracker, split int) {
 			e.startMap(tt, split, false)
 		} else {
 			// Over-assigned; wait on the GPU queue.
-			tt.gpuQueue = append(tt.gpuQueue, split)
+			e.enqueueGPU(tt, split)
 		}
 	case TailSched:
 		taskTail := float64(e.cfg.Node.GPUs) * tt.speedup
 		if tt.speedup > 0 && tt.remainingPerNode <= taskTail {
 			// Task tail: force GPU execution even if the GPU is busy.
 			e.stats.ForcedGPUTasks++
+			e.met.forced.Inc()
 			if tt.gpuFree > 0 {
 				e.startMap(tt, split, true)
 			} else {
-				tt.gpuQueue = append(tt.gpuQueue, split)
+				e.enqueueGPU(tt, split)
 			}
 			return
 		}
@@ -284,9 +428,18 @@ func (e *engine) placeMap(tt *taskTracker, split int) {
 		} else if tt.cpuFree > 0 {
 			e.startMap(tt, split, false)
 		} else {
-			tt.gpuQueue = append(tt.gpuQueue, split)
+			e.enqueueGPU(tt, split)
 		}
 	}
+}
+
+// enqueueGPU parks a task in tt's GPU driver queue and tracks the depth.
+func (e *engine) enqueueGPU(tt *taskTracker, split int) {
+	tt.gpuQueue = append(tt.gpuQueue, gpuQueued{split: split, at: e.eng.Now()})
+	if d := len(tt.gpuQueue); d > e.stats.GPUQueuePeak {
+		e.stats.GPUQueuePeak = d
+	}
+	e.met.queueDepth.Add(1)
 }
 
 // startMap occupies a slot and schedules the task's completion.
@@ -327,8 +480,11 @@ func (e *engine) startAttempt(tt *taskTracker, split int, onGPU, speculative boo
 		switch {
 		case e.splitDone[split]:
 			// A sibling attempt already finished; nothing to record.
+			e.recordMapSpan(tt, split, onGPU, speculative, duration, "lost")
 		case failed:
 			e.stats.Retries++
+			e.met.retries.Inc()
+			e.recordMapSpan(tt, split, onGPU, speculative, duration, "failed")
 			if len(e.attempts[split]) == 0 {
 				e.jt.requeue(split)
 			}
@@ -336,6 +492,7 @@ func (e *engine) startAttempt(tt *taskTracker, split int, onGPU, speculative boo
 			e.splitDone[split] = true
 			if speculative {
 				e.stats.SpeculativeWon++
+				e.met.specWon.Inc()
 			}
 			// Kill the losing sibling attempts and free their slots
 			// (Hadoop kills the slower attempt when one commits).
@@ -349,10 +506,31 @@ func (e *engine) startAttempt(tt *taskTracker, split int, onGPU, speculative boo
 				e.drainGPUQueue(o.tt)
 			}
 			delete(e.attempts, split)
-			e.completeMap(tt, split, onGPU, attempt)
+			e.completeMap(tt, split, onGPU, speculative, attempt)
 		}
 		e.drainGPUQueue(tt)
 	})
+}
+
+// recordMapSpan emits one map attempt's trace span, placed backwards from
+// the current (completion) time.
+func (e *engine) recordMapSpan(tt *taskTracker, split int, onGPU, speculative bool, duration float64, state string) {
+	if e.trace == nil {
+		return
+	}
+	cat := obs.CatMapCPU
+	lane := laneCPU
+	if onGPU {
+		cat = obs.CatMapGPU
+		lane = laneGPU
+	}
+	if speculative {
+		cat = obs.CatSpeculative
+	}
+	end := e.eng.Now()
+	begin := end - sim.Time(duration)
+	e.trace.Span(cat, "map-"+strconv.Itoa(split), begin, end, tt.node, lane,
+		obs.Int("split", split), obs.Str("state", state))
 }
 
 // dropAttempt removes a finished attempt from its split's list.
@@ -374,7 +552,16 @@ func (e *engine) drainGPUQueue(tt *taskTracker) {
 	if tt.gpuFree > 0 && len(tt.gpuQueue) > 0 {
 		next := tt.gpuQueue[0]
 		tt.gpuQueue = tt.gpuQueue[1:]
-		e.startMap(tt, next, true)
+		now := e.eng.Now()
+		wait := float64(now - next.at)
+		e.stats.GPUQueueWaitSec += wait
+		e.met.queueDepth.Add(-1)
+		e.met.queueWait.Add(wait)
+		if wait > 0 {
+			e.trace.Span(obs.CatGPUQueueWait, "queue-"+strconv.Itoa(next.split), next.at, now,
+				tt.node, laneGPUQueue, obs.Int("split", next.split))
+		}
+		e.startMap(tt, next.split, true)
 	}
 }
 
@@ -407,31 +594,69 @@ func (e *engine) trySpeculate(tt *taskTracker) {
 	if best >= 0 {
 		e.speculated[best] = true
 		e.stats.SpeculativeLaunched++
+		e.met.specLaunched.Inc()
 		e.startAttempt(tt, best, false, true)
 	}
 }
 
-func (e *engine) completeMap(tt *taskTracker, split int, onGPU bool, attempt MapAttempt) {
+func (e *engine) completeMap(tt *taskTracker, split int, onGPU, speculative bool, attempt MapAttempt) {
 	jt := e.jt
 	jt.mapResults[split] = attempt
 	jt.mapsDone++
 	jt.lastMapDone = e.eng.Now()
 	tt.observe(attempt.Duration, onGPU)
+	e.recordMapSpan(tt, split, onGPU, speculative, attempt.Duration, "won")
 	if onGPU {
 		e.stats.MapsOnGPU++
 		e.gpuDurSum += attempt.Duration
 		e.gpuDurN++
+		e.met.mapDurGPU.Observe(attempt.Duration)
+		if attempt.GPU != nil {
+			e.recordKernelDetail(tt, attempt.Duration, attempt.GPU)
+		}
 	} else {
 		e.stats.MapsOnCPU++
 		e.cpuDurSum += attempt.Duration
 		e.cpuDurN++
+		e.met.mapDurCPU.Observe(attempt.Duration)
 	}
 	if jt.mapsDone == jt.totalMaps {
+		e.stats.MapPhaseEnd = float64(e.eng.Now())
 		if jt.totalReduces == 0 {
 			e.finishJob()
 		}
 		// Reducers still shuffling are released by their own scheduling
 		// below (launchReduce waits on lastMapDone via the maps-done gate).
+	}
+}
+
+// recordKernelDetail emits kernel sub-spans inside a winning GPU attempt
+// (placed by the Figure-6 stage offsets) and folds the profiles into the
+// metrics registry.
+func (e *engine) recordKernelDetail(tt *taskTracker, duration float64, d *GPUAttemptDetail) {
+	e.met.registry.RecordKernelProfiles(d.Profiles)
+	if e.trace == nil {
+		return
+	}
+	begin := float64(e.eng.Now()) - duration
+	cursor := begin + d.Stages.InputRead + d.Stages.InputCopy
+	for i := range d.Profiles {
+		p := &d.Profiles[i]
+		attrs := []obs.Attr{
+			obs.Float("cycles", p.TotalCycles()),
+		}
+		if p.Blocks > 0 {
+			attrs = append(attrs,
+				obs.Int("blocks", p.Blocks),
+				obs.Float("occupancy", p.Occupancy),
+				obs.Float("skew", p.StragglerSkew))
+		}
+		if p.Steals > 0 {
+			attrs = append(attrs, obs.Int("steals", int(p.Steals)))
+		}
+		e.trace.Span(obs.CatKernel, p.Kernel, sim.Time(cursor), sim.Time(cursor+p.Seconds),
+			tt.node, laneGPU, attrs...)
+		cursor += p.Seconds
 	}
 }
 
@@ -473,6 +698,16 @@ func (e *engine) launchReduce(tt *taskTracker, p int) {
 		if shuffleDone < now {
 			shuffleDone = now
 		}
+		if resid := shuffleDone - float64(e.jt.lastMapDone); resid > 0 {
+			e.stats.ShuffleResidualSec += resid
+			e.met.shuffleResid.Add(resid)
+		}
+		lane := laneReduceBase + p
+		e.trace.NameTrack(tt.node, lane, "node"+strconv.Itoa(tt.node), "reduce-"+strconv.Itoa(p))
+		e.trace.Span(obs.CatShuffle, "shuffle-"+strconv.Itoa(p), assign, sim.Time(shuffleDone),
+			tt.node, lane, obs.Int("partition", p))
+		e.trace.Span(obs.CatReduce, "reduce-"+strconv.Itoa(p), sim.Time(shuffleDone),
+			sim.Time(shuffleDone+work.ComputeTime), tt.node, lane, obs.Int("partition", p))
 		e.eng.At(sim.Time(shuffleDone+work.ComputeTime), func() {
 			tt.redFree++
 			e.jt.reduceOut[p] = work.Output

@@ -149,6 +149,7 @@ func (x *FunctionalExecutor) MapTask(split int, onGPU bool, node int) (MapAttemp
 			Partitions:  res.Partitions,
 			MapOutput:   res.MapOutput,
 			OutputBytes: res.OutputBytes,
+			GPU:         &GPUAttemptDetail{Stages: res.Times, Profiles: res.Profiles},
 		}
 	} else {
 		res, err := streaming.RunMapTask(x.Job.MapF, x.Job.CombineF, input, streaming.MapTaskConfig{

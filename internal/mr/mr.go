@@ -14,7 +14,9 @@ package mr
 import (
 	"fmt"
 
+	"repro/internal/gpurt"
 	"repro/internal/kv"
+	"repro/internal/obs"
 )
 
 // SchedulerKind selects the map-task scheduler.
@@ -84,6 +86,10 @@ type ClusterConfig struct {
 	SpeculativeExecution bool
 	// Seed drives all randomized decisions (failure draws).
 	Seed uint64
+	// Obs, when non-nil, receives spans and metrics from the run. A nil
+	// recorder keeps every instrumentation call a no-op; scheduling and
+	// JobStats are identical either way.
+	Obs *obs.Recorder
 }
 
 func (c *ClusterConfig) fillDefaults() {
@@ -128,6 +134,16 @@ type MapAttempt struct {
 	MapOutput []kv.Pair
 	// OutputBytes sizes the intermediate output for the shuffle model.
 	OutputBytes int64
+	// GPU carries the device-side breakdown of a GPU attempt (nil for CPU
+	// attempts and for executors that only replay timings).
+	GPU *GPUAttemptDetail
+}
+
+// GPUAttemptDetail is the profiling payload of one GPU map attempt: the
+// Figure-6 stage breakdown plus per-kernel profiles for the trace.
+type GPUAttemptDetail struct {
+	Stages   gpurt.StageTimes
+	Profiles []obs.KernelProfile
 }
 
 // ReduceWork is the outcome of one reduce task execution.
@@ -175,4 +191,14 @@ type JobStats struct {
 	Output []kv.Pair
 	// MapTimeCPU / MapTimeGPU are the average durations observed.
 	MapTimeCPU, MapTimeGPU float64
+	// MapPhaseEnd is the virtual time the last map task committed.
+	MapPhaseEnd float64
+	// ShuffleResidualSec sums, over reducers, the shuffle time left after
+	// the map phase ended (the serial tail the overlap could not hide).
+	ShuffleResidualSec float64
+	// GPUQueueWaitSec sums the time tail-forced tasks spent waiting in GPU
+	// driver queues before a slot freed up.
+	GPUQueueWaitSec float64
+	// GPUQueuePeak is the deepest any single node's GPU driver queue got.
+	GPUQueuePeak int
 }

@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one metric dimension. Series identity is the metric name plus
+// the sorted label set.
+type Label struct {
+	Key, Val string
+}
+
+// L is shorthand for building a Label.
+func L(key, val string) Label { return Label{Key: key, Val: val} }
+
+// Registry holds metric families. The zero value is not usable; construct
+// with NewRegistry. A nil *Registry hands out nil instruments, whose
+// methods are no-ops, so callers never branch on enablement.
+type Registry struct {
+	families map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	series          map[string]*series
+}
+
+type series struct {
+	labels []Label
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{families: map[string]*family{}} }
+
+func (m *Registry) family(name, help, typ string) *family {
+	f, ok := m.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: map[string]*series{}}
+		m.families[name] = f
+	}
+	return f
+}
+
+func (f *family) lookup(labels []Label) (*series, string) {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	key := labelKey(ls)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: ls}
+		f.series[key] = s
+	}
+	return s, key
+}
+
+func labelKey(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Val))
+	}
+	return b.String()
+}
+
+// Counter returns (creating on first use) the monotonically increasing
+// series name{labels}. Returns nil on a nil registry.
+func (m *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if m == nil {
+		return nil
+	}
+	s, _ := m.family(name, help, "counter").lookup(labels)
+	if s.ctr == nil {
+		s.ctr = &Counter{}
+	}
+	return s.ctr
+}
+
+// Gauge returns (creating on first use) the gauge series name{labels}.
+func (m *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if m == nil {
+		return nil
+	}
+	s, _ := m.family(name, help, "gauge").lookup(labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram returns (creating on first use) the histogram series
+// name{labels} with the given fixed upper bounds (ascending; +Inf is
+// implicit). The bounds of the first creation win.
+func (m *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if m == nil {
+		return nil
+	}
+	s, _ := m.family(name, help, "histogram").lookup(labels)
+	if s.hist == nil {
+		s.hist = &Histogram{bounds: append([]float64(nil), buckets...), counts: make([]uint64, len(buckets)+1)}
+	}
+	return s.hist
+}
+
+// Value reports the current value of the counter or gauge series
+// name{labels}, and whether it exists.
+func (m *Registry) Value(name string, labels ...Label) (float64, bool) {
+	if m == nil {
+		return 0, false
+	}
+	f, ok := m.families[name]
+	if !ok {
+		return 0, false
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	s, ok := f.series[labelKey(ls)]
+	if !ok {
+		return 0, false
+	}
+	switch {
+	case s.ctr != nil:
+		return s.ctr.Value(), true
+	case s.gauge != nil:
+		return s.gauge.Value(), true
+	}
+	return 0, false
+}
+
+// Counter is a monotonically increasing value. Methods on a nil *Counter
+// are no-ops.
+type Counter struct{ v float64 }
+
+// Add increases the counter by d (negative deltas are ignored).
+func (c *Counter) Add(d float64) {
+	if c == nil || d < 0 {
+		return
+	}
+	c.v += d
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a value that can move both ways; it also remembers its peak,
+// which boundedness tests (e.g. GPU queue depth) assert against.
+type Gauge struct {
+	v, peak float64
+	set     bool
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if !g.set || v > g.peak {
+		g.peak = v
+	}
+	g.set = true
+}
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.Set(g.v + d)
+}
+
+// Value returns the last set value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Peak returns the maximum value ever set (0 on nil).
+func (g *Gauge) Peak() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak
+}
+
+// Histogram counts observations into fixed buckets (cumulative on export,
+// Prometheus-style).
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; counts has one extra +Inf slot
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[idx]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// DurationBuckets is the default histogram bounds (seconds) for task and
+// kernel durations: two decades of 1-2-5 around the simulated task scale.
+var DurationBuckets = []float64{
+	1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3,
+	1e-2, 2e-2, 5e-2, 0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500,
+}
+
+// WriteProm writes the registry in the Prometheus text exposition format.
+// Output is deterministic: families sort by name, series by label key.
+func (m *Registry) WriteProm(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	names := make([]string, 0, len(m.families))
+	for name := range m.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := m.families[name]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := writeSeries(w, f, f.series[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch {
+	case s.ctr != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(s.labels, nil), formatFloat(s.ctr.v))
+		return err
+	case s.gauge != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(s.labels, nil), formatFloat(s.gauge.v))
+		return err
+	case s.hist != nil:
+		h := s.hist
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			le := Label{Key: "le", Val: formatFloat(b)}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(s.labels, &le), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)]
+		le := Label{Key: "le", Val: "+Inf"}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(s.labels, &le), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(s.labels, nil), formatFloat(h.sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(s.labels, nil), h.n)
+		return err
+	}
+	return nil
+}
+
+// renderLabels renders {k="v",...}, appending extra (the `le` bound) last
+// as Prometheus convention allows.
+func renderLabels(ls []Label, extra *Label) string {
+	if len(ls) == 0 && extra == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", l.Key, strconv.Quote(l.Val))
+	}
+	if extra != nil {
+		if len(ls) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", extra.Key, strconv.Quote(extra.Val))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }

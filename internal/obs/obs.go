@@ -1,0 +1,144 @@
+// Package obs is HeteroDoop's observability layer: a span tracer and a
+// metrics registry driven by the simulated clock (package sim), plus the
+// per-kernel GPU profiles that package gpurt produces. It is the flight
+// recorder behind the paper's evaluation figures — per-device task
+// timelines (Figs. 3–4), GPU stage breakdowns (Fig. 6), and kernel cycle
+// attribution (Fig. 7) all fall out of one recorded job.
+//
+// Everything is deliberately zero-dependency (stdlib + package sim) and
+// deterministic: two runs with the same seed produce byte-identical trace
+// and metrics dumps. Every entry point is nil-safe — a nil *Recorder,
+// *Tracer, *Registry, or instrument compiles to a no-op, so hot paths in
+// the engine and the GPU runtime carry instrumentation unconditionally.
+package obs
+
+import "repro/internal/sim"
+
+// Span categories recorded by the MapReduce engine. Exported as constants
+// so tests and tools do not scatter string literals.
+const (
+	CatJob          = "job"
+	CatHeartbeat    = "heartbeat"
+	CatMapCPU       = "map-cpu"
+	CatMapGPU       = "map-gpu"
+	CatSpeculative  = "map-speculative"
+	CatGPUQueueWait = "gpu-queue-wait"
+	CatShuffle      = "shuffle"
+	CatReduce       = "reduce"
+	CatKernel       = "kernel"
+)
+
+// Attr is one key/value annotation on a span. The value is stored
+// pre-rendered as JSON so export is allocation-light and byte-stable.
+type Attr struct {
+	Key  string
+	JSON string
+}
+
+// Str builds a string attribute.
+func Str(key, val string) Attr { return Attr{Key: key, JSON: quoteJSON(val)} }
+
+// Int builds an integer attribute.
+func Int(key string, val int) Attr { return Attr{Key: key, JSON: formatInt(int64(val))} }
+
+// Float builds a float attribute.
+func Float(key string, val float64) Attr { return Attr{Key: key, JSON: formatFloat(val)} }
+
+// Span is one recorded interval (or instant, when Begin == End and Instant
+// is set) of virtual time on a track.
+type Span struct {
+	Cat     string
+	Name    string
+	Begin   sim.Time
+	End     sim.Time
+	PID     int // process row in the trace viewer (cluster node)
+	TID     int // thread row within the process (slot lane)
+	Instant bool
+	Attrs   []Attr
+}
+
+// Tracer records spans in event order. The zero value is ready to use;
+// a nil *Tracer ignores every call.
+type Tracer struct {
+	spans       []Span
+	procNames   map[int]string
+	threadNames map[[2]int]string
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Span records a completed interval.
+func (t *Tracer) Span(cat, name string, begin, end sim.Time, pid, tid int, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	if end < begin {
+		end = begin
+	}
+	t.spans = append(t.spans, Span{Cat: cat, Name: name, Begin: begin, End: end, PID: pid, TID: tid, Attrs: attrs})
+}
+
+// Instant records a zero-duration event.
+func (t *Tracer) Instant(cat, name string, at sim.Time, pid, tid int, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, Span{Cat: cat, Name: name, Begin: at, End: at, PID: pid, TID: tid, Instant: true, Attrs: attrs})
+}
+
+// NameTrack labels a (pid, tid) pair for the trace viewer. Naming the same
+// track twice keeps the first name.
+func (t *Tracer) NameTrack(pid, tid int, process, thread string) {
+	if t == nil {
+		return
+	}
+	if t.procNames == nil {
+		t.procNames = map[int]string{}
+		t.threadNames = map[[2]int]string{}
+	}
+	if _, ok := t.procNames[pid]; !ok && process != "" {
+		t.procNames[pid] = process
+	}
+	key := [2]int{pid, tid}
+	if _, ok := t.threadNames[key]; !ok && thread != "" {
+		t.threadNames[key] = thread
+	}
+}
+
+// Spans returns the recorded spans in recording order. The caller must not
+// mutate the result.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Recorder bundles a tracer and a metrics registry for one job (or one
+// tool invocation). A nil *Recorder disables everything downstream.
+type Recorder struct {
+	trace   *Tracer
+	metrics *Registry
+}
+
+// NewRecorder returns a recorder with a fresh tracer and registry.
+func NewRecorder() *Recorder {
+	return &Recorder{trace: NewTracer(), metrics: NewRegistry()}
+}
+
+// Tracer returns the recorder's tracer, or nil when r is nil.
+func (r *Recorder) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.trace
+}
+
+// Metrics returns the recorder's registry, or nil when r is nil.
+func (r *Recorder) Metrics() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.metrics
+}

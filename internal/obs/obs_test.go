@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	tr := r.Tracer()
+	reg := r.Metrics()
+	if tr != nil || reg != nil {
+		t.Fatal("nil recorder handed out live components")
+	}
+	// None of these may panic.
+	tr.Span("cat", "n", 0, 1, 0, 0)
+	tr.Instant("cat", "n", 0, 0, 0)
+	tr.NameTrack(0, 0, "p", "t")
+	if tr.Spans() != nil {
+		t.Fatal("nil tracer has spans")
+	}
+	reg.Counter("c", "").Inc()
+	reg.Gauge("g", "").Set(3)
+	reg.Histogram("h", "", DurationBuckets).Observe(1)
+	reg.RecordKernelProfiles([]KernelProfile{{Kernel: "map"}})
+	if _, ok := reg.Value("c"); ok {
+		t.Fatal("nil registry returned a value")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil tracer trace invalid: %s", buf.String())
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("mr_retries_total", "retries", L("device", "gpu"))
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	if same := reg.Counter("mr_retries_total", "", L("device", "gpu")); same != c {
+		t.Fatal("same name+labels did not return the same counter")
+	}
+	g := reg.Gauge("queue_depth", "")
+	g.Set(2)
+	g.Set(7)
+	g.Set(1)
+	if g.Value() != 1 || g.Peak() != 7 {
+		t.Fatalf("gauge value=%v peak=%v", g.Value(), g.Peak())
+	}
+	h := reg.Histogram("dur", "", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 106.5 {
+		t.Fatalf("hist count=%d sum=%v", h.Count(), h.Sum())
+	}
+	v, ok := reg.Value("mr_retries_total", L("device", "gpu"))
+	if !ok || v != 3 {
+		t.Fatalf("Value = %v, %v", v, ok)
+	}
+}
+
+func TestPromDumpDeterministicAndSorted(t *testing.T) {
+	build := func() string {
+		reg := NewRegistry()
+		reg.Gauge("zzz", "last").Set(1)
+		reg.Counter("aaa", "first", L("b", "2"), L("a", "1")).Add(4)
+		reg.Counter("aaa", "first", L("a", "0"), L("b", "9")).Add(2)
+		h := reg.Histogram("mid", "hist", []float64{0.5, 2})
+		h.Observe(0.1)
+		h.Observe(1)
+		h.Observe(99)
+		var buf bytes.Buffer
+		if err := reg.WriteProm(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("nondeterministic dump:\n%s\nvs\n%s", a, b)
+	}
+	wantOrder := []string{
+		`aaa{a="0",b="9"} 2`,
+		`aaa{a="1",b="2"} 4`,
+		`mid_bucket{le="0.5"} 1`,
+		`mid_bucket{le="2"} 2`,
+		`mid_bucket{le="+Inf"} 3`,
+		`mid_sum 100.1`,
+		`mid_count 3`,
+		`zzz 1`,
+	}
+	idx := -1
+	for _, line := range wantOrder {
+		j := strings.Index(a, line)
+		if j < 0 {
+			t.Fatalf("dump missing %q:\n%s", line, a)
+		}
+		if j < idx {
+			t.Fatalf("line %q out of order:\n%s", line, a)
+		}
+		idx = j
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer()
+	tr.NameTrack(0, 1, "node0", "cpu")
+	tr.NameTrack(0, 2, "node0", "gpu")
+	tr.Span(CatMapCPU, "map-0", 1.5, 2.5, 0, 1, Int("split", 0), Str("state", "won"))
+	tr.Span(CatKernel, "map", 2.0, 2.1, 0, 2, Float("cycles", 123.5))
+	tr.Instant(CatHeartbeat, "hb", 3, 0, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	// 2 process_name + 2 thread_name + 3 spans.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("events = %d, want 6:\n%s", len(doc.TraceEvents), buf.String())
+	}
+	var sawComplete, sawInstant bool
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			sawComplete = true
+			if ev["ts"].(float64) < 0 || ev["dur"].(float64) < 0 {
+				t.Fatalf("bad complete event %v", ev)
+			}
+		case "i":
+			sawInstant = true
+		}
+	}
+	if !sawComplete || !sawInstant {
+		t.Fatalf("missing event phases in %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"split":0`) || !strings.Contains(buf.String(), `"cycles":123.5`) {
+		t.Fatalf("args not exported: %s", buf.String())
+	}
+}
+
+func TestKernelProfileMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.RecordKernelProfiles([]KernelProfile{
+		{Kernel: "map", Seconds: 0.01, Blocks: 4, Occupancy: 0.8, StragglerSkew: 1.5, Steals: 7,
+			Cycles: []SpaceCycles{{"op", 100}, {"global", 50}, {"shared", 0}}},
+		{Kernel: "sort", Seconds: 0.002},
+	})
+	if v, _ := reg.Value("gpu_kernel_cycles_total", L("kernel", "map"), L("space", "global")); v != 50 {
+		t.Fatalf("global cycles = %v", v)
+	}
+	if _, ok := reg.Value("gpu_kernel_cycles_total", L("kernel", "map"), L("space", "shared")); ok {
+		t.Fatal("zero-cycle space should not create a series")
+	}
+	if v, _ := reg.Value("gpu_kernel_launches_total", L("kernel", "sort")); v != 1 {
+		t.Fatalf("sort launches = %v", v)
+	}
+	p := KernelProfile{Cycles: []SpaceCycles{{"op", 1}, {"global", 2}}}
+	if p.TotalCycles() != 3 {
+		t.Fatalf("TotalCycles = %v", p.TotalCycles())
+	}
+}

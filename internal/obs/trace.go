@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+)
+
+// quoteJSON renders s as a JSON string literal.
+func quoteJSON(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return `""`
+	}
+	return string(b)
+}
+
+// WriteChromeTrace writes the recorded spans as a Chrome trace_event JSON
+// object (the "JSON Object Format": {"traceEvents": [...]}) that loads
+// directly in chrome://tracing or Perfetto. Intervals become complete
+// events (ph "X"), instants become instant events (ph "i"), and named
+// tracks emit process_name / thread_name metadata first. Timestamps are
+// virtual-time microseconds. Output is byte-deterministic for a given
+// recording.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n")
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(`{"traceEvents":[`)
+	first := true
+	emit := func(line string) {
+		if !first {
+			b.WriteString(",\n")
+		} else {
+			b.WriteString("\n")
+			first = false
+		}
+		b.WriteString(line)
+	}
+
+	// Metadata events, sorted for determinism.
+	pids := make([]int, 0, len(t.procNames))
+	for pid := range t.procNames {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		emit(`{"ph":"M","pid":` + formatInt(int64(pid)) + `,"tid":0,"name":"process_name","args":{"name":` +
+			quoteJSON(t.procNames[pid]) + `}}`)
+	}
+	tkeys := make([][2]int, 0, len(t.threadNames))
+	for k := range t.threadNames {
+		tkeys = append(tkeys, k)
+	}
+	sort.Slice(tkeys, func(i, j int) bool {
+		if tkeys[i][0] != tkeys[j][0] {
+			return tkeys[i][0] < tkeys[j][0]
+		}
+		return tkeys[i][1] < tkeys[j][1]
+	})
+	for _, k := range tkeys {
+		emit(`{"ph":"M","pid":` + formatInt(int64(k[0])) + `,"tid":` + formatInt(int64(k[1])) +
+			`,"name":"thread_name","args":{"name":` + quoteJSON(t.threadNames[k]) + `}}`)
+	}
+
+	for i := range t.spans {
+		emit(renderSpan(&t.spans[i]))
+	}
+	b.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func renderSpan(s *Span) string {
+	var b strings.Builder
+	b.WriteString(`{"name":`)
+	b.WriteString(quoteJSON(s.Name))
+	b.WriteString(`,"cat":`)
+	b.WriteString(quoteJSON(s.Cat))
+	if s.Instant {
+		b.WriteString(`,"ph":"i","s":"t"`)
+	} else {
+		b.WriteString(`,"ph":"X"`)
+	}
+	b.WriteString(`,"ts":`)
+	b.WriteString(formatFloat(float64(s.Begin) * 1e6))
+	if !s.Instant {
+		b.WriteString(`,"dur":`)
+		b.WriteString(formatFloat(float64(s.End-s.Begin) * 1e6))
+	}
+	b.WriteString(`,"pid":`)
+	b.WriteString(formatInt(int64(s.PID)))
+	b.WriteString(`,"tid":`)
+	b.WriteString(formatInt(int64(s.TID)))
+	if len(s.Attrs) > 0 {
+		b.WriteString(`,"args":{`)
+		for i, a := range s.Attrs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(quoteJSON(a.Key))
+			b.WriteByte(':')
+			b.WriteString(a.JSON)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
