@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench
+.PHONY: all build test race vet fmt lint ci bench
 
 all: build
 
@@ -21,7 +21,15 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: fmt vet build test race
+# lint runs go vet plus hdlint (the directive/dataflow/GPU-safety analyzer)
+# over the built-in benchmark programs and the example MiniC sources.
+# hdlint exits non-zero on warning- or error-severity findings.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/hdlint -q -benchmarks
+	$(GO) run ./cmd/hdlint -q examples/minic/*.c
+
+ci: fmt vet build test race lint
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

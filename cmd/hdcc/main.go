@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	hdcc [-plan] [file.c]      (reads stdin when no file is given)
-//	hdcc -demo                 (compiles the paper's Listing 1 wordcount)
+//	hdcc [-plan] [-lint] [file.c]   (reads stdin when no file is given)
+//	hdcc -demo                      (compiles the paper's Listing 1 wordcount)
+//
+// With -lint, the static-analysis suite runs alongside compilation and its
+// diagnostics print to stderr; error-severity findings exit 2 (the kernel
+// is still printed — analysis never changes compiler output).
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/compiler"
 	"repro/internal/workload"
 )
@@ -23,19 +28,22 @@ import (
 func main() {
 	plan := flag.Bool("plan", false, "print the variable classification plan")
 	demo := flag.Bool("demo", false, "compile the built-in wordcount mapper (paper Listing 1)")
+	lint := flag.Bool("lint", false, "run the static-analysis suite and print diagnostics to stderr")
 	flag.Parse()
 
-	var src string
+	var src, file string
 	switch {
 	case *demo:
-		src = workload.WordcountMap
+		src, file = workload.WordcountMap, "wordcount-map.c"
 	case flag.NArg() >= 1:
-		data, err := os.ReadFile(flag.Arg(0))
+		file = flag.Arg(0)
+		data, err := os.ReadFile(file)
 		if err != nil {
 			fatal(err)
 		}
 		src = string(data)
 	default:
+		file = "<stdin>"
 		data, err := io.ReadAll(os.Stdin)
 		if err != nil {
 			fatal(err)
@@ -43,7 +51,7 @@ func main() {
 		src = string(data)
 	}
 
-	compiled, err := compiler.Compile(src)
+	compiled, err := compiler.CompileOpts(src, compiler.Options{Analyze: *lint, File: file})
 	if err != nil {
 		fatal(err)
 	}
@@ -65,6 +73,14 @@ func main() {
 	}
 	for _, w := range compiled.Kernel.Warnings {
 		fmt.Fprintf(os.Stderr, "hdcc: warning: %s\n", w)
+	}
+	if *lint {
+		for _, d := range compiled.Diagnostics {
+			fmt.Fprintln(os.Stderr, d.String())
+		}
+		if analysis.HasErrors(compiled.Diagnostics) {
+			os.Exit(2)
+		}
 	}
 }
 

@@ -1,0 +1,40 @@
+
+double CNDF(double x) {
+	return 0.5 * (1.0 + erf(x / sqrt(2.0)));
+}
+int main() {
+	int id, read;
+	double price;
+	char *line;
+	size_t nbytes = 10000;
+	line = (char*) malloc(nbytes * sizeof(char));
+	#pragma mapreduce mapper key(id) value(price) kvpairs(1) blocks(30) threads(64)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		double S = 0.0, X = 0.0, T = 0.0;
+		int i = 0, f = 0;
+		id = atoi(line);
+		while (i < read) {
+			if (line[i] == ' ') {
+				f++;
+				if (f == 1) S = atof(line + i + 1);
+				if (f == 2) X = atof(line + i + 1);
+				if (f == 3) T = atof(line + i + 1);
+			}
+			i++;
+		}
+		if (T < 0.01) T = 0.01;
+		if (X < 1.0) X = 1.0;
+		price = 0.0;
+		for (int it = 0; it < 128; it++) {
+			double sigma = 0.1 + (double) it * 0.002;
+			double sqrtT = sqrt(T);
+			double d1 = (log(S / X) + (0.05 + sigma * sigma / 2.0) * T) / (sigma * sqrtT);
+			double d2 = d1 - sigma * sqrtT;
+			price += S * CNDF(d1) - X * exp(-0.05 * T) * CNDF(d2);
+		}
+		price = price / 128.0;
+		printf("%d\t%f\n", id, price);
+	}
+	free(line);
+	return 0;
+}

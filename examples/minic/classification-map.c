@@ -1,0 +1,49 @@
+
+int main() {
+	double centroids[1024];
+	char *line;
+	int cid, movieId, read;
+	int K = 32;
+	int D = 32;
+	size_t nbytes = 10000;
+	for (int k = 0; k < 32; k++) {
+		for (int d = 0; d < 32; d++) {
+			centroids[k * 32 + d] = (double)((k * 7 + d * 3) % 10);
+		}
+	}
+	line = (char*) malloc(nbytes * sizeof(char));
+	#pragma mapreduce mapper key(cid) value(movieId) kvpairs(1) sharedRO(K, D) texture(centroids) blocks(30) threads(64)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		double pt[32];
+		int n = 0, i = 0;
+		movieId = atoi(line);
+		while (i < read && line[i] != ' ') i++;
+		while (i < read && n < 32) {
+			if (line[i] >= '0' && line[i] <= '9') {
+				pt[n] = (double) atoi(line + i);
+				n++;
+				while (i < read && line[i] >= '0' && line[i] <= '9') i++;
+			} else {
+				i++;
+			}
+		}
+		if (n > 0) {
+			double best = 1.0e30;
+			cid = 0;
+			for (int k = 0; k < K; k++) {
+				double dist = 0.0;
+				for (int d = 0; d < n; d++) {
+					double diff = pt[d] - centroids[k * D + d];
+					dist += diff * diff;
+				}
+				if (dist < best) {
+					best = dist;
+					cid = k;
+				}
+			}
+			printf("%d\t%d\n", cid, movieId);
+		}
+	}
+	free(line);
+	return 0;
+}

@@ -1,0 +1,23 @@
+
+int main() {
+	char word[8], pattern[8], *line;
+	size_t nbytes = 10000;
+	int read, cnt;
+	strcpy(pattern, "ing");
+	line = (char*) malloc(nbytes * sizeof(char));
+	#pragma mapreduce mapper key(word) value(cnt) keylength(8) sharedRO(pattern) blocks(30) threads(64)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		cnt = 0;
+		for (int i = 0; i < read; i++) {
+			int j = 0;
+			while (pattern[j] != '\0' && i + j < read && line[i + j] == pattern[j]) j++;
+			if (pattern[j] == '\0') cnt++;
+		}
+		if (cnt > 0) {
+			strcpy(word, pattern);
+			printf("%s\t%d\n", word, cnt);
+		}
+	}
+	free(line);
+	return 0;
+}

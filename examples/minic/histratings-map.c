@@ -1,0 +1,24 @@
+
+int main() {
+	int bin, one, read;
+	char *line;
+	size_t nbytes = 10000;
+	line = (char*) malloc(nbytes * sizeof(char));
+	#pragma mapreduce mapper key(bin) value(one) kvpairs(64) blocks(30) threads(64)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		int i = 0;
+		while (i < read && line[i] != ' ') i++;
+		while (i < read) {
+			if (line[i] >= '0' && line[i] <= '9') {
+				bin = atoi(line + i);
+				one = 1;
+				printf("%d\t%d\n", bin, one);
+				while (i < read && line[i] >= '0' && line[i] <= '9') i++;
+			} else {
+				i++;
+			}
+		}
+	}
+	free(line);
+	return 0;
+}

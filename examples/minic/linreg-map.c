@@ -1,0 +1,40 @@
+
+int main() {
+	int component, read;
+	double val;
+	char *line;
+	size_t nbytes = 10000;
+	line = (char*) malloc(nbytes * sizeof(char));
+	#pragma mapreduce mapper key(component) value(val) kvpairs(4) blocks(30) threads(64)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		int rid = atoi(line);
+		int i = 0, f = 0;
+		double x = 0.0, y = 0.0;
+		while (i < read) {
+			if (line[i] == ' ') {
+				f++;
+				if (f == 1) x = atof(line + i + 1);
+				if (f == 2) y = atof(line + i + 1);
+			}
+			i++;
+		}
+		double w = 1.0;
+		for (int it = 0; it < 24; it++) {
+			w = exp(log(w + 1.0e-9) * 0.5) * sqrt(1.0 + x * x * 0.001);
+		}
+		component = rid * 4;
+		val = x * w;
+		printf("%d\t%f\n", component, val);
+		component = rid * 4 + 1;
+		val = y * w;
+		printf("%d\t%f\n", component, val);
+		component = rid * 4 + 2;
+		val = x * x * w;
+		printf("%d\t%f\n", component, val);
+		component = rid * 4 + 3;
+		val = x * y * w;
+		printf("%d\t%f\n", component, val);
+	}
+	free(line);
+	return 0;
+}

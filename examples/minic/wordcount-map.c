@@ -1,0 +1,31 @@
+
+int getWord(char *line, int offset, char *word, int read, int maxw) {
+	int i = offset, j = 0;
+	while (i < read && (line[i] == ' ' || line[i] == '\n' || line[i] == '\t')) i++;
+	while (i < read && line[i] != ' ' && line[i] != '\n' && line[i] != '\t' && j < maxw - 1) {
+		word[j] = line[i];
+		i++; j++;
+	}
+	if (j == 0) return -1;
+	word[j] = '\0';
+	return i - offset;
+}
+
+int main() {
+	char word[30], *line;
+	size_t nbytes = 10000;
+	int read, linePtr, offset, one;
+	line = (char*) malloc(nbytes * sizeof(char));
+	#pragma mapreduce mapper key(word) value(one) keylength(30) kvpairs(48) blocks(30) threads(64)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		linePtr = 0;
+		offset = 0;
+		one = 1;
+		while ((linePtr = getWord(line, offset, word, read, 30)) != -1) {
+			printf("%s\t%d\n", word, one);
+			offset += linePtr;
+		}
+	}
+	free(line);
+	return 0;
+}

@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/minic"
+)
+
+// This file implements the dataflow pass (HD201..HD204): a forward
+// maybe-uninitialized analysis and a backward liveness analysis over the
+// function's CFG (minic.BuildCFG), plus a simple unused-variable scan.
+// Only function-local scalars and pointers are tracked; arrays are exempt
+// from initialization checks (element state is not modeled), and address
+// escapes (&x, array decay into calls) conservatively count as both a use
+// and a definition.
+
+// symDecl records where a tracked local was declared, in source order.
+type symDecl struct {
+	sym *minic.Symbol
+	pos minic.Pos
+}
+
+func (a *analyzer) dataflowPass(fn *minic.FuncDecl) {
+	cfg := minic.BuildCFG(fn)
+	events := make([][]event, len(cfg.Blocks))
+	for i, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			events[i] = append(events[i], nodeEvents(n)...)
+		}
+	}
+
+	decls := localDecls(fn)
+	tracked := map[*minic.Symbol]bool{}
+	for _, d := range decls {
+		tracked[d.sym] = true
+	}
+
+	// Usage scan: a variable with no reads, writes, or escapes anywhere is
+	// simply unused (HD203); it is then excluded from the store-level
+	// checks so one root cause yields one diagnostic.
+	referenced := map[*minic.Symbol]bool{}
+	for _, evs := range events {
+		for _, ev := range evs {
+			if ev.kind != evDeclUninit {
+				referenced[ev.sym] = true
+			}
+		}
+	}
+	unused := map[*minic.Symbol]bool{}
+	for _, d := range decls {
+		if !referenced[d.sym] {
+			unused[d.sym] = true
+			a.report("HD203", d.pos,
+				fmt.Sprintf("variable %q is declared but never used", d.sym.Name),
+				"remove the declaration")
+		}
+	}
+
+	a.checkUninit(cfg, events, tracked, unused)
+	a.checkDeadStores(cfg, events, tracked, unused)
+}
+
+// localDecls returns fn's local variable declarations in source order.
+func localDecls(fn *minic.FuncDecl) []symDecl {
+	var out []symDecl
+	walkStmts(fn.Body, func(s minic.Stmt) {
+		ds, ok := s.(*minic.DeclStmt)
+		if !ok {
+			return
+		}
+		for _, d := range ds.Decls {
+			if d.Sym != nil && d.Sym.Kind == minic.SymVar && !d.Sym.Global {
+				out = append(out, symDecl{sym: d.Sym, pos: ds.Pos})
+			}
+		}
+	})
+	return out
+}
+
+// checkUninit runs forward maybe-uninitialized analysis (union merge) and
+// reports HD201 at the first read of a possibly-uninitialized scalar.
+func (a *analyzer) checkUninit(cfg *minic.CFG, events [][]event, tracked, unused map[*minic.Symbol]bool) {
+	n := len(cfg.Blocks)
+	in := make([]map[*minic.Symbol]bool, n)
+	out := make([]map[*minic.Symbol]bool, n)
+	for i := range out {
+		out[i] = map[*minic.Symbol]bool{}
+	}
+	transfer := func(i int, report func(ev event)) map[*minic.Symbol]bool {
+		s := map[*minic.Symbol]bool{}
+		for sym := range in[i] {
+			s[sym] = true
+		}
+		for _, ev := range events[i] {
+			switch ev.kind {
+			case evDeclUninit:
+				s[ev.sym] = true
+			case evWrite, evAddr:
+				delete(s, ev.sym)
+			case evRead:
+				if report != nil && s[ev.sym] {
+					report(ev)
+				}
+			}
+		}
+		return s
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, b := range cfg.Blocks {
+			merged := map[*minic.Symbol]bool{}
+			for _, p := range b.Preds {
+				for sym := range out[p.ID] {
+					merged[sym] = true
+				}
+			}
+			in[i] = merged
+			next := transfer(i, nil)
+			if !sameSet(next, out[i]) {
+				out[i] = next
+				changed = true
+			}
+		}
+	}
+	// Reporting pass over the stable states: first read position per symbol.
+	firstRead := map[*minic.Symbol]minic.Pos{}
+	for i := range cfg.Blocks {
+		transfer(i, func(ev event) {
+			if !tracked[ev.sym] || unused[ev.sym] {
+				return
+			}
+			if prev, ok := firstRead[ev.sym]; !ok || before(ev.pos, prev) {
+				firstRead[ev.sym] = ev.pos
+			}
+		})
+	}
+	for _, sym := range sortedSyms(firstRead) {
+		a.report("HD201", firstRead[sym],
+			fmt.Sprintf("variable %q may be used before initialization", sym.Name),
+			"initialize the variable at its declaration")
+	}
+}
+
+// checkDeadStores runs backward liveness and reports plain stores whose
+// value is never read: HD202 for computed stores, HD204 (info) for constant
+// defensive initializations that are overwritten before use.
+func (a *analyzer) checkDeadStores(cfg *minic.CFG, events [][]event, tracked, unused map[*minic.Symbol]bool) {
+	n := len(cfg.Blocks)
+	liveIn := make([]map[*minic.Symbol]bool, n)
+	for i := range liveIn {
+		liveIn[i] = map[*minic.Symbol]bool{}
+	}
+	transfer := func(i int, liveOut map[*minic.Symbol]bool, report func(ev event)) map[*minic.Symbol]bool {
+		s := map[*minic.Symbol]bool{}
+		for sym := range liveOut {
+			s[sym] = true
+		}
+		evs := events[i]
+		for j := len(evs) - 1; j >= 0; j-- {
+			ev := evs[j]
+			switch ev.kind {
+			case evWrite:
+				if report != nil && ev.plainStore && tracked[ev.sym] && !unused[ev.sym] && !s[ev.sym] {
+					report(ev)
+				}
+				delete(s, ev.sym)
+			case evRead, evAddr, evElemWrite:
+				s[ev.sym] = true
+			case evDeclUninit:
+				delete(s, ev.sym)
+			}
+		}
+		return s
+	}
+	liveOutOf := func(b *minic.CFGBlock) map[*minic.Symbol]bool {
+		out := map[*minic.Symbol]bool{}
+		for _, succ := range b.Succs {
+			for sym := range liveIn[succ.ID] {
+				out[sym] = true
+			}
+		}
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := cfg.Blocks[i]
+			next := transfer(i, liveOutOf(b), nil)
+			if !sameSet(next, liveIn[i]) {
+				liveIn[i] = next
+				changed = true
+			}
+		}
+	}
+	type deadStore struct {
+		pos      minic.Pos
+		sym      *minic.Symbol
+		constRHS bool
+	}
+	var dead []deadStore
+	for i, b := range cfg.Blocks {
+		transfer(i, liveOutOf(b), func(ev event) {
+			dead = append(dead, deadStore{pos: ev.pos, sym: ev.sym, constRHS: ev.constRHS})
+		})
+	}
+	for _, d := range dead {
+		if d.constRHS {
+			a.report("HD204", d.pos,
+				fmt.Sprintf("redundant initialization of %q: the constant is overwritten before any use", d.sym.Name),
+				"drop the initialization (kept stores cost GPU registers)")
+		} else {
+			a.report("HD202", d.pos,
+				fmt.Sprintf("dead store to %q: the assigned value is never used", d.sym.Name),
+				"remove the assignment or use the value")
+		}
+	}
+}
+
+func sameSet(a, b map[*minic.Symbol]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func before(a, b minic.Pos) bool {
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Col < b.Col
+}
+
+// sortedSyms orders a position map's keys by position for deterministic
+// reports.
+func sortedSyms(m map[*minic.Symbol]minic.Pos) []*minic.Symbol {
+	out := make([]*minic.Symbol, 0, len(m))
+	for sym := range m {
+		out = append(out, sym)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && before(m[out[j]], m[out[j-1]]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

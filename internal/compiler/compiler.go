@@ -2,7 +2,9 @@ package compiler
 
 import (
 	"fmt"
+	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/kv"
 	"repro/internal/minic"
 )
@@ -108,47 +110,197 @@ type Compiled struct {
 	Schema kv.Schema
 	// CUDA is the CUDA-flavoured rendering of the generated kernel.
 	CUDA string
+	// Diagnostics holds the static-analysis findings when compilation ran
+	// with Options.Analyze (nil otherwise). Analysis is strictly read-only:
+	// it never changes the generated kernel.
+	Diagnostics []analysis.Diagnostic
+}
+
+// Options configures CompileOpts.
+type Options struct {
+	// Analyze runs the hdlint static-analysis suite (directive, dataflow,
+	// parallel-legality, GPU-safety, and IO-purity passes) over the source
+	// and the translated kernel, filling Compiled.Diagnostics.
+	Analyze bool
+	// File names the source in error messages and diagnostics.
+	File string
 }
 
 // Compile translates a directive-annotated MiniC source. It returns an
 // error if the source has no mapreduce pragma; plain (directive-free)
 // sources are valid Hadoop Streaming programs but have no GPU version.
-func Compile(src string) (*Compiled, error) {
-	host, err := minic.ParseAndCheck(src)
+func Compile(src string) (*Compiled, error) { return CompileOpts(src, Options{}) }
+
+// CompileOpts is Compile with options.
+func CompileOpts(src string, opts Options) (*Compiled, error) {
+	host, err := minic.ParseAndCheckFile(opts.File, src)
 	if err != nil {
 		return nil, err
 	}
-	gpu, err := minic.ParseAndCheck(src)
-	if err != nil {
-		return nil, err
-	}
-	pragmas := mapreducePragmas(gpu)
-	if len(pragmas) == 0 {
-		return nil, fmt.Errorf("compiler: source has no mapreduce pragma")
-	}
-	if len(pragmas) > 1 {
-		return nil, fmt.Errorf("compiler: source has %d mapreduce pragmas, want 1 per file", len(pragmas))
-	}
-	d, err := ParseDirective(pragmas[0].Text)
-	if err != nil {
-		return nil, err
-	}
-	spec, err := translate(gpu, pragmas[0], d)
-	if err != nil {
-		return nil, err
-	}
-	schema, err := deriveSchema(spec)
+	spec, schema, err := translateSource(opts.File, src)
 	if err != nil {
 		return nil, err
 	}
 	cuda := EmitCUDA(spec, schema)
-	return &Compiled{
+	c := &Compiled{
 		Source:   src,
 		HostProg: host,
 		Kernel:   spec,
 		Schema:   schema,
 		CUDA:     cuda,
-	}, nil
+	}
+	if opts.Analyze {
+		diags := analysis.Analyze(host)
+		diags = append(diags, analysis.AnalyzeKernel(kernelView(opts.File, spec))...)
+		analysis.Sort(diags)
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		c.Diagnostics = diags
+	}
+	return c, nil
+}
+
+// translateSource runs the GPU side of compilation: a private parse, region
+// extraction, call substitution, classification, and schema derivation.
+func translateSource(file, src string) (*KernelSpec, kv.Schema, error) {
+	gpu, err := minic.ParseAndCheckFile(file, src)
+	if err != nil {
+		return nil, kv.Schema{}, err
+	}
+	pragmas := mapreducePragmas(gpu)
+	if len(pragmas) == 0 {
+		return nil, kv.Schema{}, fmt.Errorf("compiler: source has no mapreduce pragma")
+	}
+	if len(pragmas) > 1 {
+		return nil, kv.Schema{}, fmt.Errorf("compiler: source has %d mapreduce pragmas, want 1 per file", len(pragmas))
+	}
+	d, err := ParseDirective(pragmas[0].Text)
+	if err != nil {
+		return nil, kv.Schema{}, fmt.Errorf("%s: %w", minic.ErrPrefix(file, pragmas[0].Pos), err)
+	}
+	spec, err := translate(gpu, pragmas[0], d)
+	if err != nil {
+		return nil, kv.Schema{}, err
+	}
+	schema, err := deriveSchema(spec)
+	if err != nil {
+		return nil, kv.Schema{}, err
+	}
+	return spec, schema, nil
+}
+
+// kernelView adapts a translated KernelSpec into the analysis package's
+// kernel model for the GPU-safety pass.
+func kernelView(file string, spec *KernelSpec) *analysis.Kernel {
+	spaces := map[*minic.Symbol]analysis.MemSpace{}
+	for sym, cls := range spec.Plan {
+		switch cls {
+		case ClassLocal:
+			spaces[sym] = analysis.SpaceLocal
+		case ClassPrivate:
+			spaces[sym] = analysis.SpacePrivate
+		case ClassFirstPrivate:
+			spaces[sym] = analysis.SpaceFirstPrivate
+		case ClassROScalar:
+			spaces[sym] = analysis.SpaceConstScalar
+		case ClassROArray:
+			spaces[sym] = analysis.SpaceGlobalRO
+		case ClassTexture:
+			spaces[sym] = analysis.SpaceTexture
+		}
+	}
+	clauseRO := map[string]bool{}
+	for _, name := range spec.Directive.SharedRO {
+		clauseRO[name] = true
+	}
+	for _, name := range spec.Directive.Texture {
+		clauseRO[name] = true
+	}
+	return &analysis.Kernel{
+		File:     file,
+		Combiner: spec.Kind == RegionCombiner,
+		Region:   spec.Region,
+		Spaces:   spaces,
+		ClauseRO: clauseRO,
+	}
+}
+
+// Lint runs the full static-analysis suite over one source without
+// stopping at the first problem: frontend failures surface as HD001,
+// kernel-translation failures as HD002, and directive-free sources (plain
+// streaming reducers) get the source-level passes only. The kernel passes
+// run when the source compiles and no source-level pass found an error.
+func Lint(file, src string) []analysis.Diagnostic {
+	prog, err := minic.ParseAndCheckFile(file, src)
+	if err != nil {
+		return []analysis.Diagnostic{frontendDiag(file, err)}
+	}
+	diags := analysis.Analyze(prog)
+	pragmas := mapreducePragmas(prog)
+	if len(pragmas) == 1 && !analysis.HasErrors(diags) {
+		if spec, _, err := translateSource(file, src); err != nil {
+			diags = append(diags, analysis.Diagnostic{
+				Code:     "HD002",
+				Severity: analysis.SevError,
+				File:     file,
+				Pos:      pragmas[0].Pos,
+				Message:  fmt.Sprintf("directive region fails to translate: %v", stripPosPrefix(file, err.Error())),
+			})
+		} else {
+			diags = append(diags, analysis.AnalyzeKernel(kernelView(file, spec))...)
+		}
+	}
+	analysis.Sort(diags)
+	return diags
+}
+
+// LintCatalog returns the documented diagnostic codes (re-exported so
+// tools driving Lint need not import the analysis package).
+func LintCatalog() []analysis.CodeInfo { return analysis.Catalog }
+
+// frontendDiag wraps a parse/sema error as an HD001 diagnostic, recovering
+// the position from the error's "file:line:col:" prefix when present.
+func frontendDiag(file string, err error) analysis.Diagnostic {
+	msg := err.Error()
+	pos := minic.Pos{}
+	for _, prefix := range []string{file + ":", "minic: "} {
+		if prefix == ":" || !strings.HasPrefix(msg, prefix) {
+			continue
+		}
+		rest := msg[len(prefix):]
+		var l, c int
+		var tail string
+		if n, _ := fmt.Sscanf(rest, "%d:%d: %s", &l, &c, &tail); n >= 2 {
+			pos = minic.Pos{Line: l, Col: c}
+			if i := strings.Index(rest, ": "); i >= 0 {
+				msg = rest[i+2:]
+			}
+		}
+		break
+	}
+	return analysis.Diagnostic{
+		Code:     "HD001",
+		Severity: analysis.SevError,
+		File:     file,
+		Pos:      pos,
+		Message:  msg,
+	}
+}
+
+// stripPosPrefix removes a leading position prefix from nested error text
+// so HD002 messages don't repeat the location twice.
+func stripPosPrefix(file, msg string) string {
+	if file != "" && strings.HasPrefix(msg, file+":") {
+		rest := msg[len(file)+1:]
+		var l, c int
+		if n, _ := fmt.Sscanf(rest, "%d:%d:", &l, &c); n == 2 {
+			if i := strings.Index(rest, ": "); i >= 0 {
+				return rest[i+2:]
+			}
+		}
+	}
+	return msg
 }
 
 // MustCompile compiles src and panics on error; for the built-in benchmark

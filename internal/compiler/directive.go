@@ -75,14 +75,38 @@ func ParseDirective(text string) (*Directive, error) {
 	}
 	d := &Directive{KeyLength: 0}
 	seenKind := false
+	seen := map[string]bool{}
+	// Singleton clauses may appear at most once; a silent
+	// last-occurrence-wins rule would hide directive typos.
+	once := func(name string) error {
+		if seen[name] {
+			return fmt.Errorf("compiler: duplicate clause %q in pragma %q", name, text)
+		}
+		seen[name] = true
+		return nil
+	}
 	for _, cl := range fields[1:] {
 		switch cl.name {
-		case "mapper":
-			d.Kind = RegionMapper
+		case "mapper", "combiner":
+			if seenKind {
+				return nil, fmt.Errorf("compiler: pragma %q has more than one mapper/combiner clause", text)
+			}
+			if cl.name == "combiner" {
+				d.Kind = RegionCombiner
+			} else {
+				d.Kind = RegionMapper
+			}
 			seenKind = true
-		case "combiner":
-			d.Kind = RegionCombiner
-			seenKind = true
+			continue
+		}
+		switch cl.name {
+		case "key", "value", "keyin", "valuein", "keylength", "vallength",
+			"kvpairs", "blocks", "threads":
+			if err := once(cl.name); err != nil {
+				return nil, err
+			}
+		}
+		switch cl.name {
 		case "key":
 			if d.Key, err = cl.oneIdent(); err != nil {
 				return nil, err

@@ -1,0 +1,106 @@
+package compiler_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/compiler"
+	"repro/internal/workload"
+)
+
+// TestBenchmarksLintClean asserts the paper's eight benchmarks pass the
+// full static-analysis suite: nothing at warning severity or above, in any
+// map, combine, or reduce program.
+func TestBenchmarksLintClean(t *testing.T) {
+	for _, b := range workload.All() {
+		sources := map[string]string{
+			"map":     b.Job.MapSrc,
+			"combine": b.Job.CombineSrc,
+			"reduce":  b.Job.ReduceSrc,
+		}
+		for stage, src := range sources {
+			if src == "" {
+				continue
+			}
+			diags := compiler.Lint(b.Code+"-"+stage+".c", src)
+			if !analysis.Clean(diags) {
+				var lines []string
+				for _, d := range diags {
+					lines = append(lines, d.String())
+				}
+				t.Errorf("%s %s: lint not clean:\n%s", b.Code, stage, strings.Join(lines, "\n"))
+			}
+		}
+	}
+}
+
+// TestWordcountRedundantInitInfo pins the one expected info-level finding:
+// Listing 1's defensive `linePtr = 0` is kept for paper fidelity and
+// reported at info severity (HD204), which does not affect cleanliness.
+func TestWordcountRedundantInitInfo(t *testing.T) {
+	diags := compiler.Lint("wc-map.c", workload.WordcountMap)
+	found := false
+	for _, d := range diags {
+		if d.Code == "HD204" {
+			found = true
+			if d.Severity != analysis.SevInfo {
+				t.Errorf("HD204 severity = %v, want info", d.Severity)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("expected HD204 (redundant linePtr = 0 from Listing 1), got %v", diags)
+	}
+	if !analysis.Clean(diags) {
+		t.Errorf("wordcount map should still lint clean, got %v", diags)
+	}
+}
+
+// TestAnalyzeGoldenParity asserts that enabling analysis changes no
+// compiler output: same CUDA bytes, same schema, same plan size.
+func TestAnalyzeGoldenParity(t *testing.T) {
+	for _, b := range workload.All() {
+		for stage, src := range map[string]string{"map": b.Job.MapSrc, "combine": b.Job.CombineSrc} {
+			if src == "" {
+				continue
+			}
+			plain, err := compiler.Compile(src)
+			if err != nil {
+				t.Fatalf("%s %s: Compile: %v", b.Code, stage, err)
+			}
+			analyzed, err := compiler.CompileOpts(src, compiler.Options{Analyze: true, File: "x.c"})
+			if err != nil {
+				t.Fatalf("%s %s: CompileOpts: %v", b.Code, stage, err)
+			}
+			if plain.CUDA != analyzed.CUDA {
+				t.Errorf("%s %s: CUDA output differs with Analyze enabled", b.Code, stage)
+			}
+			if plain.Schema != analyzed.Schema {
+				t.Errorf("%s %s: schema differs with Analyze enabled", b.Code, stage)
+			}
+			if len(plain.Kernel.Plan) != len(analyzed.Kernel.Plan) {
+				t.Errorf("%s %s: plan size differs with Analyze enabled", b.Code, stage)
+			}
+			if analyzed.Diagnostics == nil {
+				t.Errorf("%s %s: Analyze did not fill Diagnostics", b.Code, stage)
+			}
+			if plain.Diagnostics != nil {
+				t.Errorf("%s %s: plain compile filled Diagnostics", b.Code, stage)
+			}
+		}
+	}
+}
+
+// TestDuplicateClauseRejected covers the ParseDirective duplicate-clause
+// check added alongside the lint suite.
+func TestDuplicateClauseRejected(t *testing.T) {
+	if _, err := compiler.ParseDirective("mapreduce mapper key(a) key(b) value(c)"); err == nil ||
+		!strings.Contains(err.Error(), "duplicate clause") {
+		t.Errorf("duplicate key clause: err = %v, want duplicate-clause error", err)
+	}
+	if _, err := compiler.ParseDirective("mapreduce mapper combiner key(a) value(c)"); err == nil ||
+		!strings.Contains(err.Error(), "more than one mapper/combiner") {
+		t.Errorf("double kind: err = %v, want kind error", err)
+	}
+}

@@ -414,6 +414,9 @@ type Program struct {
 	Globals []*DeclStmt
 	// Source keeps the original text for diagnostics and re-emission.
 	Source string
+	// File is the source file name used in diagnostics ("" when parsed
+	// from an in-memory string).
+	File string
 }
 
 // Func returns the function with the given name, or nil.

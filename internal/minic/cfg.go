@@ -1,0 +1,158 @@
+package minic
+
+// This file provides a control-flow graph over MiniC statements. The CFG is
+// consumed by the static-analysis suite (package analysis) for dataflow
+// passes: reaching definitions, liveness, and use-before-init checks.
+//
+// Granularity: each CFG node is either a Stmt (DeclStmt, ExprStmt, Return,
+// EmptyStmt) or an Expr (a branch/loop condition, or a for-post expression).
+// Nodes within a block appear in evaluation order; branch conditions are the
+// last node of the block that branches on them.
+
+// CFGBlock is one basic block: a straight-line sequence of nodes with a
+// single entry and a set of successor edges.
+type CFGBlock struct {
+	ID    int
+	Nodes []Node
+	Succs []*CFGBlock
+	Preds []*CFGBlock
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *CFGBlock
+	Exit   *CFGBlock
+	Blocks []*CFGBlock
+}
+
+// BuildCFG constructs the control-flow graph of fn's body. Pragma statements
+// are transparent: their bodies are linked in place, so directive regions
+// participate in dataflow like ordinary code. break/continue outside a loop
+// (rejected by Check) conservatively edge to the exit block.
+func BuildCFG(fn *FuncDecl) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmt(fn.Body)
+	b.link(b.cur, b.cfg.Exit)
+	return b.cfg
+}
+
+type loopCtx struct {
+	brk  *CFGBlock // break target
+	cont *CFGBlock // continue target
+}
+
+type cfgBuilder struct {
+	cfg   *CFG
+	cur   *CFGBlock
+	loops []loopCtx
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	blk := &CFGBlock{ID: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *CFGBlock) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *cfgBuilder) stmt(s Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *Block:
+		for _, inner := range st.Stmts {
+			b.stmt(inner)
+		}
+	case *PragmaStmt:
+		b.stmt(st.Body)
+	case *DeclStmt, *ExprStmt, *EmptyStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	case *If:
+		b.cur.Nodes = append(b.cur.Nodes, st.Cond)
+		condBlk := b.cur
+		join := b.newBlock()
+		then := b.newBlock()
+		b.link(condBlk, then)
+		b.cur = then
+		b.stmt(st.Then)
+		b.link(b.cur, join)
+		if st.Else != nil {
+			els := b.newBlock()
+			b.link(condBlk, els)
+			b.cur = els
+			b.stmt(st.Else)
+			b.link(b.cur, join)
+		} else {
+			b.link(condBlk, join)
+		}
+		b.cur = join
+	case *While:
+		header := b.newBlock()
+		b.link(b.cur, header)
+		header.Nodes = append(header.Nodes, st.Cond)
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.link(header, body)
+		b.link(header, exit)
+		b.loops = append(b.loops, loopCtx{brk: exit, cont: header})
+		b.cur = body
+		b.stmt(st.Body)
+		b.link(b.cur, header)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = exit
+	case *For:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		header := b.newBlock()
+		b.link(b.cur, header)
+		if st.Cond != nil {
+			header.Nodes = append(header.Nodes, st.Cond)
+		}
+		body := b.newBlock()
+		exit := b.newBlock()
+		post := b.newBlock()
+		b.link(header, body)
+		if st.Cond != nil {
+			b.link(header, exit)
+		}
+		if st.Post != nil {
+			post.Nodes = append(post.Nodes, st.Post)
+		}
+		b.link(post, header)
+		b.loops = append(b.loops, loopCtx{brk: exit, cont: post})
+		b.cur = body
+		b.stmt(st.Body)
+		b.link(b.cur, post)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = exit
+	case *Return:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.link(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock()
+	case *Break:
+		target := b.cfg.Exit
+		if len(b.loops) > 0 {
+			target = b.loops[len(b.loops)-1].brk
+		}
+		b.link(b.cur, target)
+		b.cur = b.newBlock()
+	case *Continue:
+		target := b.cfg.Exit
+		if len(b.loops) > 0 {
+			target = b.loops[len(b.loops)-1].cont
+		}
+		b.link(b.cur, target)
+		b.cur = b.newBlock()
+	}
+}

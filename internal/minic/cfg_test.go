@@ -1,0 +1,137 @@
+package minic
+
+import "testing"
+
+func buildFor(t *testing.T, src string) *CFG {
+	t.Helper()
+	prog, err := ParseAndCheck(src)
+	if err != nil {
+		t.Fatalf("ParseAndCheck: %v", err)
+	}
+	fn := prog.Func("main")
+	if fn == nil {
+		t.Fatal("no main")
+	}
+	return BuildCFG(fn)
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(cfg *CFG) map[*CFGBlock]bool {
+	seen := map[*CFGBlock]bool{}
+	var visit func(b *CFGBlock)
+	visit = func(b *CFGBlock) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(cfg.Entry)
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg := buildFor(t, `int main() { int x; x = 1; return x; }`)
+	if len(cfg.Entry.Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3 (decl, assign, return)", len(cfg.Entry.Nodes))
+	}
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit not reachable")
+	}
+}
+
+func TestCFGIfElseJoin(t *testing.T) {
+	cfg := buildFor(t, `int main() { int x; x = 0; if (x) { x = 1; } else { x = 2; } return x; }`)
+	// Entry ends with the condition and branches to then/else.
+	if n := len(cfg.Entry.Succs); n != 2 {
+		t.Fatalf("cond block succs = %d, want 2", n)
+	}
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit not reachable")
+	}
+}
+
+func TestCFGWhileLoopBackEdge(t *testing.T) {
+	cfg := buildFor(t, `int main() { int i; i = 0; while (i < 3) { i = i + 1; } return i; }`)
+	// Find the header: a block with 2 succs, one of which loops back to it.
+	var header *CFGBlock
+	for _, b := range cfg.Blocks {
+		if len(b.Succs) == 2 {
+			for _, s := range b.Succs {
+				for _, ss := range s.Succs {
+					if ss == b {
+						header = b
+					}
+				}
+			}
+		}
+	}
+	if header == nil {
+		t.Fatal("no loop header with back edge found")
+	}
+}
+
+func TestCFGForBreakContinue(t *testing.T) {
+	cfg := buildFor(t, `int main() {
+		int s; s = 0;
+		for (int i = 0; i < 10; i++) {
+			if (i == 2) continue;
+			if (i == 5) break;
+			s = s + i;
+		}
+		return s;
+	}`)
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit not reachable")
+	}
+	// Every reachable non-exit block must have at least one successor.
+	for b := range reachable(cfg) {
+		if b != cfg.Exit && len(b.Succs) == 0 && len(b.Nodes) > 0 {
+			t.Fatalf("reachable block %d has nodes but no successors", b.ID)
+		}
+	}
+}
+
+func TestCFGReturnCutsFlow(t *testing.T) {
+	cfg := buildFor(t, `int main() { return 0; }`)
+	// The block after return is unreachable.
+	r := reachable(cfg)
+	unreached := 0
+	for _, b := range cfg.Blocks {
+		if !r[b] {
+			unreached++
+		}
+	}
+	if unreached == 0 {
+		t.Fatal("expected an unreachable block after return")
+	}
+}
+
+func TestCFGPragmaTransparent(t *testing.T) {
+	cfg := buildFor(t, `int main() {
+		int x; x = 0;
+		#pragma mapreduce mapper key(x) value(x)
+		while (x < 3) { x = x + 1; }
+		return x;
+	}`)
+	// The pragma body (while loop) must be linked into the graph: a back
+	// edge exists.
+	hasBack := false
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			if s == b {
+				continue
+			}
+			for _, ss := range s.Succs {
+				if ss == b {
+					hasBack = true
+				}
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatal("pragma-wrapped loop produced no back edge")
+	}
+}

@@ -13,6 +13,7 @@ import (
 // ends).
 type Lexer struct {
 	src  string
+	file string
 	off  int
 	line int
 	col  int
@@ -24,8 +25,13 @@ func NewLexer(src string) *Lexer {
 }
 
 // Lex tokenizes the whole input, returning tokens ending with TokEOF.
-func Lex(src string) ([]Token, error) {
+func Lex(src string) ([]Token, error) { return LexFile("", src) }
+
+// LexFile is Lex with a file name threaded into error messages, so
+// diagnostics print file:line:col.
+func LexFile(file, src string) ([]Token, error) {
 	lx := NewLexer(src)
+	lx.file = file
 	var toks []Token
 	for {
 		t, err := lx.Next()
@@ -40,7 +46,21 @@ func Lex(src string) ([]Token, error) {
 }
 
 func (lx *Lexer) errf(format string, args ...any) error {
-	return fmt.Errorf("minic: %d:%d: %s", lx.line, lx.col, fmt.Sprintf(format, args...))
+	return lx.errAt(Pos{Line: lx.line, Col: lx.col}, format, args...)
+}
+
+func (lx *Lexer) errAt(pos Pos, format string, args ...any) error {
+	return fmt.Errorf("%s: %s", ErrPrefix(lx.file, pos), fmt.Sprintf(format, args...))
+}
+
+// ErrPrefix formats the position prefix of a frontend diagnostic:
+// "file:line:col" when a file name is known, "minic: line:col" otherwise
+// (the historical format for in-memory sources).
+func ErrPrefix(file string, pos Pos) string {
+	if file != "" {
+		return fmt.Sprintf("%s:%s", file, pos)
+	}
+	return fmt.Sprintf("minic: %s", pos)
 }
 
 func (lx *Lexer) peek() byte {
@@ -161,7 +181,7 @@ func (lx *Lexer) lexDirective() (Token, bool, error) {
 	case strings.HasPrefix(text, "#include"):
 		return Token{}, true, nil
 	default:
-		return Token{}, false, fmt.Errorf("minic: %s: unsupported preprocessor directive %q", pos, text)
+		return Token{}, false, lx.errAt(pos, "unsupported preprocessor directive %q", text)
 	}
 }
 

@@ -8,17 +8,22 @@ import (
 type Parser struct {
 	toks []Token
 	pos  int
+	file string
 }
 
 // Parse lexes and parses src into a Program (syntax only; run Check for
 // semantic analysis).
-func Parse(src string) (*Program, error) {
-	toks, err := Lex(src)
+func Parse(src string) (*Program, error) { return ParseFile("", src) }
+
+// ParseFile is Parse with a file name threaded into error messages and the
+// resulting Program, so downstream diagnostics print file:line:col.
+func ParseFile(file, src string) (*Program, error) {
+	toks, err := LexFile(file, src)
 	if err != nil {
 		return nil, err
 	}
-	p := &Parser{toks: toks}
-	prog := &Program{Source: src}
+	p := &Parser{toks: toks, file: file}
+	prog := &Program{Source: src, File: file}
 	for !p.at(TokEOF) {
 		if p.atPragma() {
 			return nil, p.errf("pragma at file scope must precede a statement inside a function")
@@ -107,7 +112,7 @@ func (p *Parser) expectIdent() (string, error) {
 }
 
 func (p *Parser) errf(format string, args ...any) error {
-	return fmt.Errorf("minic: %s: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+	return fmt.Errorf("%s: %s", ErrPrefix(p.file, p.cur().Pos), fmt.Sprintf(format, args...))
 }
 
 // parseType parses a base type with leading qualifiers and trailing '*'s.

@@ -129,10 +129,10 @@ func Check(prog *Program) error {
 	c := &checker{prog: prog, funcs: map[string]*FuncDecl{}}
 	for _, f := range prog.Funcs {
 		if _, dup := c.funcs[f.Name]; dup {
-			return fmt.Errorf("minic: %s: duplicate function %q", f.Pos, f.Name)
+			return fmt.Errorf("%s: duplicate function %q", ErrPrefix(prog.File, f.Pos), f.Name)
 		}
 		if _, isBuiltin := Builtins[f.Name]; isBuiltin {
-			return fmt.Errorf("minic: %s: function %q shadows a builtin", f.Pos, f.Name)
+			return fmt.Errorf("%s: function %q shadows a builtin", ErrPrefix(prog.File, f.Pos), f.Name)
 		}
 		c.funcs[f.Name] = f
 	}
@@ -153,7 +153,7 @@ func Check(prog *Program) error {
 }
 
 func (c *checker) errf(pos Pos, format string, args ...any) {
-	c.errors = append(c.errors, fmt.Errorf("minic: %s: %s", pos, fmt.Sprintf(format, args...)))
+	c.errors = append(c.errors, fmt.Errorf("%s: %s", ErrPrefix(c.prog.File, pos), fmt.Sprintf(format, args...)))
 }
 
 func (c *checker) checkFunc(global *scope, f *FuncDecl) {
@@ -215,9 +215,13 @@ func (c *checker) checkStmt(sc *scope, s Stmt) {
 		if st.X != nil {
 			c.checkExpr(sc, st.X)
 		}
-	case *Break, *Continue:
+	case *Break:
 		if c.loops == 0 {
-			c.errf(s.nodePos(), "break/continue outside loop")
+			c.errf(s.nodePos(), "break statement outside loop")
+		}
+	case *Continue:
+		if c.loops == 0 {
+			c.errf(s.nodePos(), "continue statement outside loop")
 		}
 	case *PragmaStmt:
 		c.checkStmt(sc, st.Body)
@@ -407,7 +411,13 @@ func promote(a, b *Type) *Type {
 
 // ParseAndCheck parses and semantically checks src in one step.
 func ParseAndCheck(src string) (*Program, error) {
-	prog, err := Parse(src)
+	return ParseAndCheckFile("", src)
+}
+
+// ParseAndCheckFile is ParseAndCheck with a file name threaded into every
+// diagnostic, so errors print file:line:col.
+func ParseAndCheckFile(file, src string) (*Program, error) {
+	prog, err := ParseFile(file, src)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateExamples = flag.Bool("update", false, "rewrite examples/minic from the benchmark constants")
+
+// exampleSources maps on-disk example file names to the benchmark mapper
+// constants they mirror. The files exist so hdlint/hdcc can be exercised
+// on real paths (and so `make lint` has a file corpus); this test pins
+// them byte-for-byte to the Go constants.
+func exampleSources() map[string]string {
+	return map[string]string{
+		"grep-map.c":           GrepMap,
+		"histmovies-map.c":     HistmoviesMap,
+		"wordcount-map.c":      WordcountMap,
+		"histratings-map.c":    HistratingsMap,
+		"linreg-map.c":         LinearRegressionMap,
+		"kmeans-map.c":         KmeansMap,
+		"classification-map.c": ClassificationMap,
+		"blackscholes-map.c":   BlackScholesMap,
+	}
+}
+
+func TestExampleSourcesPinned(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "minic")
+	if *updateExamples {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, src := range exampleSources() {
+		path := filepath.Join(dir, name)
+		if *updateExamples {
+			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run `go test ./internal/workload -run TestExampleSourcesPinned -update` to regenerate)", name, err)
+		}
+		if string(data) != src {
+			t.Errorf("%s drifted from its workload constant; regenerate with -update", name)
+		}
+	}
+}
