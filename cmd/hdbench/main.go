@@ -15,11 +15,13 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2 table3 fig3 fig4a fig4b fig5 fig6 fig7a fig7b fig7c fig7d fig7e ablation all")
+	exp := flag.String("exp", "all", "experiment: table2 table3 fig3 fig4a fig4b fig5 fig6 fig7a fig7b fig7c fig7d fig7e ablation faultsweep all")
+	faultSpec := flag.String("faults", "", "extra fault plan for the faultsweep custom row (see faults.Parse)")
 	splitKB := flag.Int("split-kb", 16, "scaled fileSplit size in KB for task sampling")
 	variants := flag.Int("variants", 2, "distinct splits sampled per benchmark and device")
 	taskScale := flag.Float64("task-scale", 1.0, "multiplier on the paper's Table-2 task counts")
@@ -117,6 +119,19 @@ func main() {
 			fmt.Println()
 			ran++
 		}
+	}
+	if selected("faultsweep") || selected("faults") {
+		var plan *faults.Plan
+		if *faultSpec != "" {
+			var err error
+			plan, err = faults.Parse(*faultSpec)
+			check(err)
+		}
+		rows, err := experiments.FaultSweep(cfg, plan)
+		check(err)
+		fmt.Print(experiments.FormatFaultSweep(rows))
+		fmt.Println()
+		ran++
 	}
 	if selected("ablation") || selected("ablations") {
 		r, err := experiments.Ablations(cfg)

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/mr"
 	"repro/internal/obs"
 	"repro/internal/workload"
@@ -33,6 +34,7 @@ func main() {
 	blockKB := flag.Int("block-kb", 4, "scaled HDFS block size in KB")
 	seed := flag.Uint64("seed", 42, "input generator seed")
 	failRate := flag.Float64("fail", 0, "GPU task failure injection rate")
+	faultSpec := flag.String("faults", "", `fault plan, e.g. "gpurate=0.2; crash(node=1,at=0.01,restart=0.02)" (see faults.Parse)`)
 	outLines := flag.Int("out", 10, "output lines to print")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
@@ -87,10 +89,17 @@ func main() {
 	if *tracePath != "" || *metricsPath != "" {
 		rec = obs.NewRecorder()
 	}
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		plan, err = faults.Parse(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	input := b.Gen(*seed, *inputKB<<10)
 	res, err := core.Run(job, input, core.RunOptions{
 		Setup: &setup, Scheduler: scheduler, GPUs: *gpus,
-		GPUFailureRate: *failRate, Seed: *seed, Obs: rec,
+		GPUFailureRate: *failRate, Faults: plan, Seed: *seed, Obs: rec,
 	})
 	if err != nil {
 		fatal(err)
@@ -110,6 +119,12 @@ func main() {
 	}
 	if s.Retries > 0 {
 		fmt.Printf("fault tolerance : %d failed GPU attempts rescheduled\n", s.Retries)
+	}
+	if s.FailedAttempts > 0 || s.NodesLost > 0 || s.LostAttempts > 0 {
+		fmt.Printf("faults          : %d attempts failed, %d lost to dead nodes, %d GPU->CPU fallbacks\n",
+			s.FailedAttempts, s.LostAttempts, s.GPUFallbacks)
+		fmt.Printf("recovery        : %d nodes lost, %d map outputs re-executed, %d reduces restarted, %d blacklists\n",
+			s.NodesLost, s.MapsReexecuted, s.ReducesRestarted, s.NodeBlacklists)
 	}
 	fmt.Printf("phases          : map phase ended %.6fs, shuffle residual %.6fs\n",
 		s.MapPhaseEnd, s.ShuffleResidualSec)

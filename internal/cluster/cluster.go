@@ -96,6 +96,18 @@ func (s Setup) WithGPUs(n int) Setup {
 	return s
 }
 
+// WithSlaves returns a copy of the setup shrunk (or grown) to n slave
+// nodes, keeping the HDFS datanode count in step and clamping replication
+// to the cluster size (small fault-tolerance and test runs).
+func (s Setup) WithSlaves(n int) Setup {
+	s.Slaves = n
+	s.HDFS.DataNodes = n
+	if s.HDFS.Replication > n {
+		s.HDFS.Replication = n
+	}
+	return s
+}
+
 // CPUOnlyNode returns the node config for baseline Hadoop runs (no GPU
 // slots).
 func (s Setup) CPUOnlyNode() mr.NodeConfig {

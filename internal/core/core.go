@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/gpurt"
 	"repro/internal/hdfs"
@@ -100,7 +101,11 @@ type RunOptions struct {
 	// Optimizations defaults to gpurt.AllOptimizations().
 	Optimizations *gpurt.Options
 	// GPUFailureRate injects GPU task failures (fault tolerance demo).
+	// Ignored when Faults is set.
 	GPUFailureRate float64
+	// Faults is a deterministic fault-injection plan for the run (see
+	// package faults; built from a spec string with faults.Parse).
+	Faults *faults.Plan
 	// Seed drives placement and failures.
 	Seed uint64
 	// Obs, when non-nil, records the run's trace spans and metrics.
@@ -173,6 +178,7 @@ func Run(job *Job, input []byte, opts RunOptions) (*Result, error) {
 		Scheduler:      sched,
 		HeartbeatSec:   scaledHeartbeat(setup),
 		GPUFailureRate: opts.GPUFailureRate,
+		Faults:         opts.Faults,
 		Seed:           opts.Seed + 2,
 		Obs:            opts.Obs,
 	}, exec)

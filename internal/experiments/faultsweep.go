@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/workload"
+)
+
+// FaultSweepRow is one fault plan's outcome versus the clean run: the
+// headline fault-tolerance invariant is that OutputOK holds (byte-identical
+// job output) for every completable plan.
+type FaultSweepRow struct {
+	Label    string
+	Makespan float64
+	// OutputOK reports byte-identical output versus the clean run.
+	OutputOK bool
+	// Err is the structured failure for uncompletable plans.
+	Err string
+	// Recovery counters from JobStats.
+	FailedAttempts   int
+	LostAttempts     int
+	NodesLost        int
+	MapsReexecuted   int
+	GPUFallbacks     int
+	ReducesRestarted int
+	Blacklists       int
+}
+
+// FaultSweep runs wordcount on a 4-slave cluster under a battery of fault
+// plans — clean, probabilistic GPU/CPU failures, node crash with restart,
+// permanent node crash after map commits, GPU retirement, heartbeat loss,
+// and a straggler — and checks each run's output byte-for-byte against the
+// clean run. A non-nil custom plan is appended as an extra row.
+func FaultSweep(cfg Config, custom *faults.Plan) ([]FaultSweepRow, error) {
+	cfg.fillDefaults()
+	setup := cluster.Cluster1().WithSlaves(4)
+	// Tiny splits keep the functional wordcount runs fast; the virtual
+	// timescale shrinks with them, so fault instants are derived from the
+	// clean run's stats rather than hard-coded.
+	setup.HDFS.BlockSize = 4 << 10
+	bench := workload.Wordcount()
+	job, err := core.CompileJob(core.JobSources{
+		Name:     "wc-faults",
+		Map:      bench.Job.MapSrc,
+		Combine:  bench.Job.CombineSrc,
+		Reduce:   bench.Job.ReduceSrc,
+		Reducers: 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	input := workload.TextCorpus(cfg.Seed, 48*(4<<10))
+	run := func(plan *faults.Plan) (*core.Result, error) {
+		return core.Run(job, input, core.RunOptions{
+			Setup:  &setup,
+			Seed:   cfg.Seed,
+			Faults: plan,
+			Obs:    cfg.Obs,
+		})
+	}
+	clean, err := run(nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: clean fault-sweep run: %w", err)
+	}
+	cleanOut := clean.TextOutput()
+	mapEnd := clean.Stats.MapPhaseEnd
+	rows := []FaultSweepRow{{
+		Label:    "clean",
+		Makespan: clean.Stats.Makespan,
+		OutputOK: true,
+	}}
+
+	plans := []struct {
+		label string
+		plan  *faults.Plan
+	}{
+		{"gpu-rate-0.3", &faults.Plan{GPUFailureRate: 0.3}},
+		{"cpu+gpu-rate", &faults.Plan{CPUFailureRate: 0.05, GPUFailureRate: 0.2}},
+		{"crash+restart", &faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.NodeCrash, Node: 1, At: 0.8 * mapEnd, RestartAfter: 0.2 * clean.Stats.Makespan},
+		}}},
+		{"crash-after-maps", &faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.NodeCrash, Node: 2, At: 0.9 * mapEnd},
+		}}},
+		{"gpu-retire", &faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.GPURetire, Node: 0, At: 0.2 * mapEnd},
+		}}},
+		{"hb-loss", &faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.HeartbeatLoss, Node: 3, At: 0.3 * mapEnd, Duration: 0.5 * clean.Stats.Makespan},
+		}}},
+		{"straggler-4x", &faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.Slowdown, Node: 1, At: 0, Factor: 4},
+		}}},
+	}
+	if custom != nil {
+		plans = append(plans, struct {
+			label string
+			plan  *faults.Plan
+		}{"custom", custom})
+	}
+	for _, p := range plans {
+		res, err := run(p.plan)
+		if err != nil {
+			rows = append(rows, FaultSweepRow{Label: p.label, Err: err.Error()})
+			continue
+		}
+		rows = append(rows, FaultSweepRow{
+			Label:            p.label,
+			Makespan:         res.Stats.Makespan,
+			OutputOK:         res.TextOutput() == cleanOut,
+			FailedAttempts:   res.Stats.FailedAttempts,
+			LostAttempts:     res.Stats.LostAttempts,
+			NodesLost:        res.Stats.NodesLost,
+			MapsReexecuted:   res.Stats.MapsReexecuted,
+			GPUFallbacks:     res.Stats.GPUFallbacks,
+			ReducesRestarted: res.Stats.ReducesRestarted,
+			Blacklists:       res.Stats.NodeBlacklists,
+		})
+	}
+	return rows, nil
+}
+
+// FormatFaultSweep renders fault-sweep rows as a table.
+func FormatFaultSweep(rows []FaultSweepRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fault sweep (wordcount, 4 slaves; output compared byte-for-byte to clean run)")
+	fmt.Fprintf(&b, "%-18s %10s %6s %5s %5s %5s %6s %5s %5s %5s\n",
+		"plan", "makespan", "output", "fail", "lost", "nodes", "reexec", "fback", "redo", "blist")
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-18s FAILED: %s\n", r.Label, r.Err)
+			continue
+		}
+		ok := "ok"
+		if !r.OutputOK {
+			ok = "DIFF"
+		}
+		fmt.Fprintf(&b, "%-18s %10.4f %6s %5d %5d %5d %6d %5d %5d %5d\n",
+			r.Label, r.Makespan, ok, r.FailedAttempts, r.LostAttempts, r.NodesLost,
+			r.MapsReexecuted, r.GPUFallbacks, r.ReducesRestarted, r.Blacklists)
+	}
+	return b.String()
+}

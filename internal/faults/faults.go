@@ -1,0 +1,264 @@
+// Package faults is HeteroDoop's deterministic fault-injection subsystem.
+// A Plan describes everything that will go wrong during one simulated job:
+// scheduled faults pinned to virtual-time instants (node crashes with or
+// without restart, heartbeat loss, GPU device retirement, slowdowns) and
+// probabilistic per-attempt task failures on the CPU and GPU paths.
+//
+// Determinism is the point. Probabilistic failure draws are keyed by
+// (task, attempt, device) through a seeded hash rather than consumed from a
+// shared RNG stream, so a plan's outcome for any given attempt is
+// independent of scheduling order: reordering heartbeats, adding nodes, or
+// changing the scheduler never silently changes which attempts fail.
+// Identical plans and seeds reproduce identical fault sequences, which the
+// engine turns into identical traces.
+package faults
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind enumerates the fault taxonomy.
+type Kind int
+
+// Fault kinds.
+const (
+	// NodeCrash kills a TaskTracker process at Fault.At. Its running tasks
+	// die silently and its local map outputs are lost; the JobTracker only
+	// learns of the death through heartbeat expiry. RestartAfter > 0
+	// restarts the tracker with a fresh identity after that delay.
+	NodeCrash Kind = iota
+	// HeartbeatLoss suppresses a tracker's heartbeats for Fault.Duration
+	// seconds. The node keeps running but looks dead to the JobTracker,
+	// which may expire it; on resume the tracker re-registers.
+	HeartbeatLoss
+	// GPURetire permanently retires one GPU on the node at Fault.At. A task
+	// running on the retired device is aborted and falls back to the CPU
+	// path.
+	GPURetire
+	// Slowdown multiplies the node's task durations by Fault.Factor for
+	// Fault.Duration seconds (0 = for the rest of the job) — straggler
+	// injection.
+	Slowdown
+	// TaskFail fails specific task attempts: task Fault.Task, attempt
+	// Fault.Attempt (-1 = every attempt, i.e. a permanent task fault), on
+	// the device class Fault.Device.
+	TaskFail
+)
+
+func (k Kind) String() string {
+	switch k {
+	case NodeCrash:
+		return "node-crash"
+	case HeartbeatLoss:
+		return "heartbeat-loss"
+	case GPURetire:
+		return "gpu-retire"
+	case Slowdown:
+		return "slowdown"
+	case TaskFail:
+		return "task-fail"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Device selects which execution path a TaskFail fault hits.
+type Device int
+
+// Device classes.
+const (
+	AnyDevice Device = iota
+	CPUDevice
+	GPUDevice
+)
+
+func (d Device) String() string {
+	switch d {
+	case AnyDevice:
+		return "any"
+	case CPUDevice:
+		return "cpu"
+	case GPUDevice:
+		return "gpu"
+	default:
+		return fmt.Sprintf("Device(%d)", int(d))
+	}
+}
+
+// ErrInjected marks a failure as injected by a fault plan (as opposed to a
+// genuine executor error). It is the leaf cause inside typed abort errors.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Fault is one scheduled fault. Which fields matter depends on Kind; see
+// the Kind constants.
+type Fault struct {
+	Kind Kind
+	// Node is the target TaskTracker (all kinds except TaskFail).
+	Node int
+	// At is the virtual time the fault strikes (all kinds except TaskFail).
+	At float64
+	// RestartAfter (NodeCrash) restarts the node this many seconds after
+	// the crash; 0 means the crash is permanent.
+	RestartAfter float64
+	// Duration bounds HeartbeatLoss and Slowdown windows (0 for Slowdown =
+	// rest of the job).
+	Duration float64
+	// Factor is the Slowdown duration multiplier (> 1 slows the node).
+	Factor float64
+	// Task / Attempt / Device target TaskFail faults. Attempt -1 hits
+	// every attempt of the task.
+	Task    int
+	Attempt int
+	Device  Device
+}
+
+// Plan is a complete fault schedule for one job run.
+type Plan struct {
+	// Seed keys the probabilistic attempt draws. 0 lets the engine
+	// substitute the job seed.
+	Seed uint64
+	// CPUFailureRate / GPUFailureRate are per-attempt transient failure
+	// probabilities, drawn independently per (task, attempt).
+	CPUFailureRate float64
+	GPUFailureRate float64
+	// Faults are the scheduled and targeted faults.
+	Faults []Fault
+}
+
+// FromGPUFailureRate builds the plan equivalent of the legacy
+// ClusterConfig.GPUFailureRate knob.
+func FromGPUFailureRate(rate float64) *Plan {
+	return &Plan{GPUFailureRate: rate}
+}
+
+// Clone returns a deep copy (the engine normalizes plans without mutating
+// the caller's).
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return nil
+	}
+	q := *p
+	q.Faults = append([]Fault(nil), p.Faults...)
+	return &q
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || (p.CPUFailureRate <= 0 && p.GPUFailureRate <= 0 && len(p.Faults) == 0)
+}
+
+// Scheduled returns the faults that fire at a virtual-time instant
+// (everything except TaskFail), in plan order. The engine installs them as
+// simulation events; equal-time faults apply in plan order.
+func (p *Plan) Scheduled() []Fault {
+	if p == nil {
+		return nil
+	}
+	var out []Fault
+	for _, f := range p.Faults {
+		if f.Kind != TaskFail {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// AttemptFails reports whether attempt number `attempt` of map task `task`
+// on the given device fails. Targeted TaskFail faults are checked first;
+// otherwise the per-device rate decides via a draw keyed by
+// (Seed, task, attempt, device) — never by draw order.
+func (p *Plan) AttemptFails(task, attempt int, onGPU bool) bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.Faults {
+		if f.Kind != TaskFail || f.Task != task {
+			continue
+		}
+		if f.Attempt >= 0 && f.Attempt != attempt {
+			continue
+		}
+		if f.Device == CPUDevice && onGPU {
+			continue
+		}
+		if f.Device == GPUDevice && !onGPU {
+			continue
+		}
+		return true
+	}
+	rate := p.CPUFailureRate
+	if onGPU {
+		rate = p.GPUFailureRate
+	}
+	if rate <= 0 {
+		return false
+	}
+	return Draw(p.Seed, task, attempt, onGPU) < rate
+}
+
+// Draw returns the uniform [0,1) variate keyed by (seed, task, attempt,
+// device). Exported so tests and tools can predict plan outcomes.
+func Draw(seed uint64, task, attempt int, onGPU bool) float64 {
+	x := seed ^ 0x9E3779B97F4A7C15
+	x = mix(x + uint64(task)*0xBF58476D1CE4E5B9)
+	x = mix(x + uint64(attempt)*0x94D049BB133111EB)
+	if onGPU {
+		x = mix(x ^ 0xD6E8FEB86659FD93)
+	} else {
+		x = mix(x)
+	}
+	return float64(x>>11) / (1 << 53)
+}
+
+// mix is the splitmix64 finalizer.
+func mix(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Validate checks the plan against a cluster size.
+func (p *Plan) Validate(slaves int) error {
+	if p == nil {
+		return nil
+	}
+	if p.CPUFailureRate < 0 || p.CPUFailureRate >= 1 {
+		return fmt.Errorf("faults: CPU failure rate %v outside [0,1)", p.CPUFailureRate)
+	}
+	if p.GPUFailureRate < 0 || p.GPUFailureRate >= 1 {
+		return fmt.Errorf("faults: GPU failure rate %v outside [0,1)", p.GPUFailureRate)
+	}
+	for i, f := range p.Faults {
+		if f.Kind == TaskFail {
+			if f.Task < 0 {
+				return fmt.Errorf("faults: fault %d: task-fail needs a task", i)
+			}
+			continue
+		}
+		if f.Node < 0 || f.Node >= slaves {
+			return fmt.Errorf("faults: fault %d (%v): node %d outside cluster of %d", i, f.Kind, f.Node, slaves)
+		}
+		if f.At < 0 {
+			return fmt.Errorf("faults: fault %d (%v): negative time %v", i, f.Kind, f.At)
+		}
+		switch f.Kind {
+		case HeartbeatLoss:
+			if f.Duration <= 0 {
+				return fmt.Errorf("faults: fault %d: heartbeat loss needs a positive duration", i)
+			}
+		case Slowdown:
+			if f.Factor <= 0 {
+				return fmt.Errorf("faults: fault %d: slowdown needs a positive factor", i)
+			}
+		case NodeCrash:
+			if f.RestartAfter < 0 {
+				return fmt.Errorf("faults: fault %d: negative restart delay", i)
+			}
+		}
+	}
+	return nil
+}

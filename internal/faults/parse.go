@@ -1,0 +1,154 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a Plan from the compact spec the -faults CLI flag accepts:
+// semicolon-separated items, each either a scalar setting or a fault call.
+//
+//	seed=7                                   draw seed
+//	gpurate=0.3                              per-attempt GPU failure rate
+//	cpurate=0.05                             per-attempt CPU failure rate
+//	crash(node=1,at=5)                       permanent node crash at t=5
+//	crash(node=1,at=5,restart=10)            crash, restart 10s later
+//	hbloss(node=0,at=2,for=8)                heartbeat loss window
+//	retire(node=2,at=1)                      retire one GPU on node 2
+//	slow(node=3,at=0,for=100,factor=4)       4x straggler window
+//	taskfail(task=7)                         every attempt of task 7 fails
+//	taskfail(task=7,attempt=0,dev=gpu)       one attempt, GPU path only
+//
+// Whitespace around items is ignored. Times are virtual seconds.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if name, args, ok := splitCall(item); ok {
+			f, err := parseFault(name, args)
+			if err != nil {
+				return nil, err
+			}
+			p.Faults = append(p.Faults, f)
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: cannot parse %q (want key=value or kind(...))", item)
+		}
+		switch strings.TrimSpace(key) {
+		case "seed":
+			n, err := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q", val)
+			}
+			p.Seed = n
+		case "gpurate":
+			r, err := parseRate(val)
+			if err != nil {
+				return nil, err
+			}
+			p.GPUFailureRate = r
+		case "cpurate":
+			r, err := parseRate(val)
+			if err != nil {
+				return nil, err
+			}
+			p.CPUFailureRate = r
+		default:
+			return nil, fmt.Errorf("faults: unknown setting %q", key)
+		}
+	}
+	return p, nil
+}
+
+// splitCall recognizes "name(arg,arg,...)" items.
+func splitCall(item string) (name, args string, ok bool) {
+	open := strings.IndexByte(item, '(')
+	if open < 0 || !strings.HasSuffix(item, ")") {
+		return "", "", false
+	}
+	return strings.TrimSpace(item[:open]), item[open+1 : len(item)-1], true
+}
+
+func parseRate(s string) (float64, error) {
+	r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || r < 0 || r >= 1 {
+		return 0, fmt.Errorf("faults: bad failure rate %q (want [0,1))", s)
+	}
+	return r, nil
+}
+
+// parseFault builds one Fault from a call item.
+func parseFault(name, args string) (Fault, error) {
+	f := Fault{Task: -1, Attempt: -1, Node: -1}
+	switch name {
+	case "crash":
+		f.Kind = NodeCrash
+	case "hbloss":
+		f.Kind = HeartbeatLoss
+	case "retire":
+		f.Kind = GPURetire
+	case "slow":
+		f.Kind = Slowdown
+	case "taskfail":
+		f.Kind = TaskFail
+	default:
+		return f, fmt.Errorf("faults: unknown fault kind %q", name)
+	}
+	for _, arg := range strings.Split(args, ",") {
+		arg = strings.TrimSpace(arg)
+		if arg == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(arg, "=")
+		if !ok {
+			return f, fmt.Errorf("faults: %s: cannot parse argument %q", name, arg)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "node":
+			f.Node, err = strconv.Atoi(val)
+		case "at":
+			f.At, err = strconv.ParseFloat(val, 64)
+		case "restart":
+			f.RestartAfter, err = strconv.ParseFloat(val, 64)
+		case "for":
+			f.Duration, err = strconv.ParseFloat(val, 64)
+		case "factor":
+			f.Factor, err = strconv.ParseFloat(val, 64)
+		case "task":
+			f.Task, err = strconv.Atoi(val)
+		case "attempt":
+			f.Attempt, err = strconv.Atoi(val)
+		case "dev":
+			switch val {
+			case "any":
+				f.Device = AnyDevice
+			case "cpu":
+				f.Device = CPUDevice
+			case "gpu":
+				f.Device = GPUDevice
+			default:
+				err = fmt.Errorf("want any|cpu|gpu")
+			}
+		default:
+			err = fmt.Errorf("unknown argument")
+		}
+		if err != nil {
+			return f, fmt.Errorf("faults: %s: bad argument %q: %v", name, arg, err)
+		}
+	}
+	if f.Kind != TaskFail && f.Node < 0 {
+		return f, fmt.Errorf("faults: %s needs node=", name)
+	}
+	if f.Kind == TaskFail && f.Task < 0 {
+		return f, fmt.Errorf("faults: taskfail needs task=")
+	}
+	return f, nil
+}

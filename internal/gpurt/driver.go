@@ -151,7 +151,7 @@ func RunTask(dev *gpu.Device, mapC, combineC *compiler.Compiled, input []byte, c
 	numReducers := cfg.NumReducers
 	store, err := NewKVStore(mapC.Schema, numThreads, slotsPerThread, numReducers)
 	if err != nil {
-		return nil, err
+		return nil, &AbortError{Kernel: "map", Cause: err}
 	}
 	if store.StoreBytes()+int64(len(input)) > dev.Config.GlobalMemBytes {
 		return nil, fmt.Errorf("gpurt: KV store (%d MB) + input exceed device memory", store.StoreBytes()>>20)
@@ -164,7 +164,7 @@ func RunTask(dev *gpu.Device, mapC, combineC *compiler.Compiled, input []byte, c
 	}
 	mres, err := ExecMapKernel(dev, mapC, cap, input, records, store, cfg.Opts)
 	if err != nil {
-		return nil, err
+		return nil, &AbortError{Kernel: "map", Cause: err}
 	}
 	res.Times.Map = mres.Time
 	res.Steals = mres.Steals
@@ -234,7 +234,7 @@ func RunTask(dev *gpu.Device, mapC, combineC *compiler.Compiled, input []byte, c
 		}
 		cres, err := ExecCombineKernels(dev, combineC, ccap, store, partitions, cfg.Opts)
 		if err != nil {
-			return nil, err
+			return nil, &AbortError{Kernel: "combine", Cause: err}
 		}
 		res.Partitions = cres.Partitions
 		res.Times.Combine = cres.Time

@@ -1,0 +1,20 @@
+package gpurt
+
+import "fmt"
+
+// AbortError is the typed error for a GPU task aborted mid-kernel —
+// whether by a genuine runtime failure (store overflow, kernel fault) or
+// an injected device fault. The MR engine unwraps it to decide that the
+// attempt should be retried on the CPU path.
+type AbortError struct {
+	// Kernel names the stage that aborted (record-count, map, sort,
+	// combine, ...).
+	Kernel string
+	Cause  error
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("gpurt: %s kernel aborted: %v", e.Kernel, e.Cause)
+}
+
+func (e *AbortError) Unwrap() error { return e.Cause }

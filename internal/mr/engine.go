@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/faults"
+	"repro/internal/gpurt"
 	"repro/internal/kv"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -26,46 +28,84 @@ func RunJob(cfg ClusterConfig, exec Executor) (*JobStats, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	plan := cfg.Faults.Clone()
+	if plan == nil && cfg.GPUFailureRate > 0 {
+		// Legacy knob: synthesize the equivalent plan.
+		plan = faults.FromGPUFailureRate(cfg.GPUFailureRate)
+	}
+	if plan != nil && plan.Seed == 0 {
+		plan.Seed = cfg.Seed
+	}
+	if err := plan.Validate(cfg.Slaves); err != nil {
+		return nil, err
+	}
+	splits := exec.NumSplits()
 	e := &engine{
 		cfg:        cfg,
 		exec:       exec,
 		eng:        sim.NewEngine(),
-		rng:        sim.NewRNG(cfg.Seed),
+		plan:       plan,
 		stats:      &JobStats{},
 		jt:         newJobTracker(cfg, exec),
 		slaves:     make([]*taskTracker, cfg.Slaves),
 		attempts:   map[int][]*attemptRun{},
-		splitDone:  make([]bool, exec.NumSplits()),
+		splitDone:  make([]bool, splits),
 		speculated: map[int]bool{},
+		attemptSeq: make([]int, splits),
+		failCount:  make([]int, splits),
+		gpuDemoted: make([]bool, splits),
+		mapHost:    make([]int, splits),
+		reduceRuns: map[int]*reduceRun{},
+	}
+	for i := range e.mapHost {
+		e.mapHost[i] = -1
 	}
 	e.initObs()
 	e.eng.SetEventLimit(50_000_000)
 	for n := 0; n < cfg.Slaves; n++ {
 		e.slaves[n] = &taskTracker{
-			node:    n,
-			cpuFree: cfg.Node.MapSlots,
-			gpuFree: cfg.Node.GPUs,
-			redFree: cfg.Node.ReduceSlots,
-			speedup: 0,
+			node:     n,
+			alive:    true,
+			cpuFree:  cfg.Node.MapSlots,
+			gpuFree:  cfg.Node.GPUs,
+			gpuTotal: cfg.Node.GPUs,
+			redFree:  cfg.Node.ReduceSlots,
+			speedup:  0,
 		}
 	}
 	// Stagger initial heartbeats deterministically across the interval.
 	for n := 0; n < cfg.Slaves; n++ {
 		node := n
 		offset := cfg.HeartbeatSec * float64(n) / float64(cfg.Slaves)
-		e.eng.At(sim.Time(offset), func() { e.heartbeat(node) })
+		e.slaves[n].hbEv = e.eng.At(sim.Time(offset), func() { e.heartbeat(node) })
+	}
+	// Install the scheduled faults; equal-time faults apply in plan order.
+	for _, f := range plan.Scheduled() {
+		f := f
+		e.eng.At(sim.Time(f.At), func() { e.applyFault(f) })
 	}
 	e.eng.Run()
+	if e.err != nil {
+		return nil, e.err
+	}
 	if !e.jt.done() {
-		return nil, fmt.Errorf("mr: job did not complete (maps %d/%d, reduces %d/%d)",
-			e.jt.mapsDone, exec.NumSplits(), e.jt.reducesDone, exec.NumReducers())
+		// The event queue drained with work outstanding: classify.
+		anyAlive := false
+		for _, tt := range e.slaves {
+			if tt.alive {
+				anyAlive = true
+			}
+		}
+		if !anyAlive && e.pendingRestarts == 0 {
+			return nil, &JobFailure{Kind: FailClusterDead, Task: -1, Node: -1, Cause: faults.ErrInjected}
+		}
+		return nil, &JobFailure{Kind: FailStalled, Task: -1, Node: -1,
+			Cause: fmt.Errorf("maps %d/%d, reduces %d/%d",
+				e.jt.mapsDone, splits, e.jt.reducesDone, exec.NumReducers())}
 	}
 	e.stats.Makespan = float64(e.finish)
 	e.stats.MaxSpeedup = e.jt.maxSpeedup
 	e.collectOutput()
-	if e.err != nil {
-		return nil, e.err
-	}
 	jobName := cfg.Name
 	if jobName == "" {
 		jobName = "job"
@@ -81,7 +121,7 @@ type engine struct {
 	cfg    ClusterConfig
 	exec   Executor
 	eng    *sim.Engine
-	rng    *sim.RNG
+	plan   *faults.Plan
 	stats  *JobStats
 	jt     *jobTracker
 	slaves []*taskTracker
@@ -96,6 +136,16 @@ type engine struct {
 	attempts   map[int][]*attemptRun
 	splitDone  []bool
 	speculated map[int]bool
+
+	// Fault-tolerance state.
+	attemptSeq []int  // next attempt id per split (keys failure draws)
+	failCount  []int  // failed attempts per split (MaxTaskAttempts cap)
+	gpuDemoted []bool // split prefers the CPU path after a GPU failure
+	mapHost    []int  // node holding the committed map output, -1 if none
+	// reduceRuns tracks the live attempt per reduce partition so node
+	// death can cancel and restart it.
+	reduceRuns      map[int]*reduceRun
+	pendingRestarts int
 
 	// Observability. All handles are nil-safe no-ops when cfg.Obs is nil.
 	trace *obs.Tracer
@@ -117,6 +167,16 @@ type engineMetrics struct {
 	shuffleResid *obs.Counter
 	mapDurCPU    *obs.Histogram
 	mapDurGPU    *obs.Histogram
+	failInjCPU   *obs.Counter
+	failInjGPU   *obs.Counter
+	failNodeLost *obs.Counter
+	failRetired  *obs.Counter
+	mapsReexec   *obs.Counter
+	nodesLost    *obs.Counter
+	blacklists   *obs.Counter
+	gpuFallbacks *obs.Counter
+	faultsTotal  *obs.Counter
+	redRestarts  *obs.Counter
 	registry     *obs.Registry
 }
 
@@ -137,6 +197,16 @@ func (e *engine) initObs() {
 		shuffleResid: reg.Counter("mr_shuffle_residual_seconds_total", "Shuffle time left after the map phase", sched),
 		mapDurCPU:    reg.Histogram("mr_map_duration_seconds", "Winning map attempt durations", obs.DurationBuckets, obs.L("device", "cpu"), sched),
 		mapDurGPU:    reg.Histogram("mr_map_duration_seconds", "Winning map attempt durations", obs.DurationBuckets, obs.L("device", "gpu"), sched),
+		failInjCPU:   reg.Counter("mr_attempt_failures_total", "Failed map attempts by cause", obs.L("cause", "injected-cpu"), sched),
+		failInjGPU:   reg.Counter("mr_attempt_failures_total", "Failed map attempts by cause", obs.L("cause", "injected-gpu"), sched),
+		failNodeLost: reg.Counter("mr_attempt_failures_total", "Failed map attempts by cause", obs.L("cause", "node-lost"), sched),
+		failRetired:  reg.Counter("mr_attempt_failures_total", "Failed map attempts by cause", obs.L("cause", "gpu-retired"), sched),
+		mapsReexec:   reg.Counter("mr_maps_reexecuted_total", "Committed map outputs re-run after node death", sched),
+		nodesLost:    reg.Counter("mr_nodes_lost_total", "TaskTrackers declared dead", sched),
+		blacklists:   reg.Counter("mr_node_blacklists_total", "Node blacklist decisions", sched),
+		gpuFallbacks: reg.Counter("mr_gpu_fallbacks_total", "Splits demoted from GPU to CPU", sched),
+		faultsTotal:  reg.Counter("mr_faults_injected_total", "Scheduled faults applied", sched),
+		redRestarts:  reg.Counter("mr_reduces_restarted_total", "Reduce attempts restarted after node death", sched),
 		registry:     reg,
 	}
 	for n := 0; n < e.cfg.Slaves; n++ {
@@ -196,6 +266,10 @@ type jobTracker struct {
 	reduceOut [][]kv.Pair
 	// reducesAssigned marks launched reduce tasks.
 	reducesAssigned []bool
+	// reduceFetched marks reducers that have collected their map inputs;
+	// while any reducer has not, a dead node's committed map outputs must
+	// be re-executed (Hadoop map-output-loss semantics).
+	reduceFetched []bool
 	// lastMapDone is when the map phase ended (gates reducers).
 	lastMapDone sim.Time
 }
@@ -213,6 +287,7 @@ func newJobTracker(cfg ClusterConfig, exec Executor) *jobTracker {
 		mapResults:      make([]MapAttempt, exec.NumSplits()),
 		reduceOut:       make([][]kv.Pair, exec.NumReducers()),
 		reducesAssigned: make([]bool, exec.NumReducers()),
+		reduceFetched:   make([]bool, exec.NumReducers()),
 		maxSpeedup:      1,
 	}
 	for i := 0; i < jt.totalMaps; i++ {
@@ -252,6 +327,17 @@ func (jt *jobTracker) pendingCount() int { return jt.numPending }
 
 func (jt *jobTracker) done() bool {
 	return jt.mapsDone == jt.totalMaps && jt.reducesDone == jt.totalReduces
+}
+
+// allReducesFetched reports whether every reducer has collected its map
+// inputs, after which lost map outputs no longer matter.
+func (jt *jobTracker) allReducesFetched() bool {
+	for _, f := range jt.reduceFetched {
+		if !f {
+			return false
+		}
+	}
+	return true
 }
 
 // takeMap removes and returns a pending map task, preferring node-local
@@ -302,6 +388,8 @@ type taskTracker struct {
 	cpuFree int
 	gpuFree int
 	redFree int
+	// gpuTotal is the node's surviving GPU count (retirements shrink it).
+	gpuTotal int
 	// gpuQueue holds tail-forced tasks waiting for a GPU slot.
 	gpuQueue []gpuQueued
 	// Speedup bookkeeping (average GPU speedup over a CPU slot).
@@ -310,6 +398,36 @@ type taskTracker struct {
 	speedup        float64
 	// numMapsRemainingPerNode from the last heartbeat response.
 	remainingPerNode float64
+
+	// Fault state.
+	alive        bool       // the tracker process is running
+	deadDeclared bool       // the JobTracker has written the node off
+	lastHB       sim.Time   // last heartbeat the JobTracker saw
+	expiryArmed  bool       // an expiry check event is outstanding
+	hbEv         *sim.Event // the pending heartbeat event (canceled on crash)
+	hbLostUntil  sim.Time   // heartbeats suppressed until then
+	slowFactor   float64    // task-duration multiplier while slowed
+	slowUntil    sim.Time
+	permSlow     bool
+	failures     int // task failures since the last blacklist/reset
+	blacklists   int // times this node has been blacklisted
+	blacklisted  sim.Time
+}
+
+// slowdown returns the node's current task-duration multiplier.
+func (tt *taskTracker) slowdown(now sim.Time) float64 {
+	if tt.slowFactor > 0 && (tt.permSlow || now < tt.slowUntil) {
+		return tt.slowFactor
+	}
+	return 1
+}
+
+// reduceRun is the live attempt of one reduce partition. ev is whatever
+// event currently drives it (the maps-done gate poll or the completion).
+type reduceRun struct {
+	p  int
+	tt *taskTracker
+	ev *sim.Event
 }
 
 func (tt *taskTracker) observe(duration float64, onGPU bool) {
@@ -332,72 +450,356 @@ func (e *engine) heartbeat(node int) {
 		return
 	}
 	tt := e.slaves[node]
+	if !tt.alive {
+		// Crashed: the heartbeat loop stops; restartNode re-enters it.
+		return
+	}
+	now := e.eng.Now()
+	if now < tt.hbLostUntil {
+		// Heartbeats suppressed; resume when the loss window closes.
+		tt.hbEv = e.eng.At(tt.hbLostUntil, func() { e.heartbeat(node) })
+		return
+	}
+	if tt.deadDeclared {
+		e.reregister(tt)
+	}
+	tt.lastHB = now
+	e.armExpiry(tt)
 	jt := e.jt
 	e.met.heartbeats.Inc()
-	e.trace.Instant(obs.CatHeartbeat, "hb", e.eng.Now(), node, laneHeartbeat)
+	e.trace.Instant(obs.CatHeartbeat, "hb", now, node, laneHeartbeat)
 
 	// Report speedup; the JobTracker remembers the maximum (Algorithm 2).
 	if tt.speedup > jt.maxSpeedup {
 		jt.maxSpeedup = tt.speedup
 	}
 
-	// TailScheduleOnJT: decide how many tasks to hand this tracker. One
-	// task per busy GPU may be prefetched into the driver's queue so the
-	// GPU never idles across a heartbeat gap (the GPU driver fetches new
-	// tasks eagerly, paper §5.1). Free GPUs are already counted in the
-	// free-slot total, so prefetch only covers the busy ones — counting
-	// all GPUs here would double-count the free ones and over-assign.
-	busyGPUs := e.cfg.Node.GPUs - tt.gpuFree
-	prefetch := busyGPUs - len(tt.gpuQueue)
-	if prefetch < 0 {
-		prefetch = 0
-	}
-	free := tt.cpuFree + tt.gpuFree + prefetch
-	if e.cfg.Scheduler == TailSched {
-		jobTail := float64(e.cfg.Node.GPUs) * jt.maxSpeedup * float64(e.cfg.Slaves)
-		if float64(jt.remainingMaps()) <= jobTail {
-			// Job tail: at most numGPUs tasks per heartbeat so forced
-			// queues stay short.
-			free = e.cfg.Node.GPUs
+	// A blacklisted node keeps heartbeating (so it can serve again after
+	// the backoff) but receives no work.
+	if now >= tt.blacklisted {
+		// TailScheduleOnJT: decide how many tasks to hand this tracker. One
+		// task per busy GPU may be prefetched into the driver's queue so the
+		// GPU never idles across a heartbeat gap (the GPU driver fetches new
+		// tasks eagerly, paper §5.1). Free GPUs are already counted in the
+		// free-slot total, so prefetch only covers the busy ones — counting
+		// all GPUs here would double-count the free ones and over-assign.
+		busyGPUs := tt.gpuTotal - tt.gpuFree
+		prefetch := busyGPUs - len(tt.gpuQueue)
+		if prefetch < 0 {
+			prefetch = 0
+		}
+		free := tt.cpuFree + tt.gpuFree + prefetch
+		if e.cfg.Scheduler == TailSched {
+			jobTail := float64(e.cfg.Node.GPUs) * jt.maxSpeedup * float64(e.cfg.Slaves)
+			if float64(jt.remainingMaps()) <= jobTail {
+				// Job tail: at most numGPUs tasks per heartbeat so forced
+				// queues stay short.
+				free = e.cfg.Node.GPUs
+			}
+		}
+		tt.remainingPerNode = float64(jt.remainingMaps()) / float64(e.cfg.Slaves)
+
+		for i := 0; i < free; i++ {
+			split, local, ok := jt.takeMap(node)
+			if !ok {
+				break
+			}
+			e.met.assigned.Inc()
+			if local {
+				e.stats.DataLocalMaps++
+				e.met.local.Inc()
+			}
+			e.placeMap(tt, split)
+		}
+
+		// Speculative execution: back up stragglers once the queue drains.
+		if e.cfg.SpeculativeExecution && jt.pendingCount() == 0 && jt.remainingMaps() > 0 {
+			e.trySpeculate(tt)
+		}
+
+		// Reduce scheduling after slow start.
+		if jt.totalReduces > 0 && float64(jt.mapsDone) >= e.cfg.ReduceSlowstart*float64(jt.totalMaps) {
+			for p := 0; p < jt.totalReduces && tt.redFree > 0; p++ {
+				if jt.reducesAssigned[p] {
+					continue
+				}
+				jt.reducesAssigned[p] = true
+				tt.redFree--
+				e.launchReduce(tt, p)
+			}
 		}
 	}
-	tt.remainingPerNode = float64(jt.remainingMaps()) / float64(e.cfg.Slaves)
 
-	for i := 0; i < free; i++ {
-		split, local, ok := jt.takeMap(node)
-		if !ok {
-			break
-		}
-		e.met.assigned.Inc()
-		if local {
-			e.stats.DataLocalMaps++
-			e.met.local.Inc()
-		}
-		e.placeMap(tt, split)
+	tt.hbEv = e.eng.After(sim.Duration(e.cfg.HeartbeatSec), func() { e.heartbeat(node) })
+}
+
+// armExpiry schedules (at most one outstanding) heartbeat-expiry check for
+// the node. The check re-arms itself while heartbeats keep arriving and
+// declares the node dead once they stop.
+func (e *engine) armExpiry(tt *taskTracker) {
+	if tt.expiryArmed {
+		return
 	}
+	tt.expiryArmed = true
+	deadline := tt.lastHB + sim.Time(e.cfg.HeartbeatExpirySec)
+	e.eng.At(deadline, func() {
+		tt.expiryArmed = false
+		if e.err != nil || e.jt.done() || tt.deadDeclared {
+			return
+		}
+		if e.eng.Now() < tt.lastHB+sim.Time(e.cfg.HeartbeatExpirySec) {
+			e.armExpiry(tt) // a heartbeat arrived meanwhile; track it
+			return
+		}
+		e.declareDead(tt, "heartbeat-expired")
+	})
+}
 
-	// Speculative execution: back up stragglers once the queue drains.
-	if e.cfg.SpeculativeExecution && jt.pendingCount() == 0 && jt.remainingMaps() > 0 {
-		e.trySpeculate(tt)
+// reregister readmits a tracker the JobTracker had written off (restart
+// after a crash, or heartbeat loss shorter than the job). Hadoop treats
+// this as a brand-new TaskTracker: fresh slots, no history.
+func (e *engine) reregister(tt *taskTracker) {
+	tt.deadDeclared = false
+	tt.cpuFree = e.cfg.Node.MapSlots
+	tt.gpuFree = tt.gpuTotal // device retirement survives restarts
+	tt.redFree = e.cfg.Node.ReduceSlots
+	tt.cpuSum, tt.gpuSum = 0, 0
+	tt.cpuN, tt.gpuN = 0, 0
+	tt.speedup = 0
+	tt.failures = 0
+	tt.blacklisted = 0
+	e.trace.Instant(obs.CatRecovery, "node-reregistered", e.eng.Now(), tt.node, laneHeartbeat)
+}
+
+// declareDead writes a TaskTracker off: its running map and reduce
+// attempts are requeued and — while any reducer still needs map inputs —
+// its committed map outputs are re-executed.
+func (e *engine) declareDead(tt *taskTracker, cause string) {
+	if tt.deadDeclared {
+		return
 	}
+	tt.deadDeclared = true
+	now := e.eng.Now()
+	e.stats.NodesLost++
+	e.met.nodesLost.Inc()
+	e.trace.Instant(obs.CatRecovery, "node-dead", now, tt.node, laneHeartbeat, obs.Str("cause", cause))
 
-	// Reduce scheduling after slow start.
-	if jt.totalReduces > 0 && float64(jt.mapsDone) >= e.cfg.ReduceSlowstart*float64(jt.totalMaps) {
-		for p := 0; p < jt.totalReduces && tt.redFree > 0; p++ {
-			if jt.reducesAssigned[p] {
+	// Kill the node's in-flight map attempts. Ascending split order keeps
+	// requeue order deterministic.
+	for split := 0; split < len(e.splitDone); split++ {
+		runs := e.attempts[split]
+		if len(runs) == 0 {
+			continue
+		}
+		var kept []*attemptRun
+		lost := 0
+		for _, run := range runs {
+			if run.tt != tt {
+				kept = append(kept, run)
 				continue
 			}
-			jt.reducesAssigned[p] = true
-			tt.redFree--
-			e.launchReduce(tt, p)
+			run.ev.Cancel()
+			lost++
+			e.stats.LostAttempts++
+			e.met.failNodeLost.Inc()
+		}
+		if lost == 0 {
+			continue
+		}
+		if len(kept) == 0 {
+			delete(e.attempts, split)
+			if !e.splitDone[split] {
+				e.jt.requeue(split)
+			}
+		} else {
+			e.attempts[split] = kept
+		}
+	}
+	// Tasks parked in the node's GPU driver queue never started; requeue.
+	for _, q := range tt.gpuQueue {
+		e.met.queueDepth.Add(-1)
+		if !e.splitDone[q.split] && len(e.attempts[q.split]) == 0 {
+			e.jt.requeue(q.split)
+		}
+	}
+	tt.gpuQueue = nil
+
+	// Restart the node's reduce attempts elsewhere.
+	for p := 0; p < e.jt.totalReduces; p++ {
+		run, ok := e.reduceRuns[p]
+		if !ok || run.tt != tt {
+			continue
+		}
+		if run.ev != nil {
+			run.ev.Cancel()
+		}
+		delete(e.reduceRuns, p)
+		e.jt.reducesAssigned[p] = false
+		e.jt.reduceFetched[p] = false
+		e.stats.ReducesRestarted++
+		e.met.redRestarts.Inc()
+		e.trace.Instant(obs.CatRecovery, "reduce-restart", now, tt.node, laneHeartbeat, obs.Int("partition", p))
+	}
+
+	// Map-output loss: committed map outputs lived on the dead node's
+	// local disk; while reducers still need them they must be re-executed
+	// (Hadoop §"map output loss" semantics). Map-only jobs write straight
+	// to HDFS, so their commits survive.
+	if e.jt.totalReduces > 0 && !e.jt.allReducesFetched() {
+		for split := 0; split < len(e.splitDone); split++ {
+			if !e.splitDone[split] || e.mapHost[split] != tt.node {
+				continue
+			}
+			e.splitDone[split] = false
+			e.mapHost[split] = -1
+			e.jt.mapResults[split] = MapAttempt{}
+			e.jt.mapsDone--
+			e.stats.MapsReexecuted++
+			e.met.mapsReexec.Inc()
+			e.jt.requeue(split)
+			e.trace.Instant(obs.CatRecovery, "map-output-lost", now, tt.node, laneHeartbeat, obs.Int("split", split))
 		}
 	}
 
-	e.eng.After(sim.Duration(e.cfg.HeartbeatSec), func() { e.heartbeat(node) })
+	// If nothing is left to run the job and nothing will come back, fail
+	// fast instead of letting the simulation hang.
+	anyAlive := false
+	for _, s := range e.slaves {
+		if s.alive {
+			anyAlive = true
+		}
+	}
+	if !anyAlive && e.pendingRestarts == 0 {
+		e.fail(&JobFailure{Kind: FailClusterDead, Task: -1, Node: tt.node, Cause: faults.ErrInjected})
+	}
+}
+
+// applyFault executes one scheduled fault from the plan.
+func (e *engine) applyFault(f faults.Fault) {
+	if e.err != nil || e.jt.done() {
+		return
+	}
+	tt := e.slaves[f.Node]
+	now := e.eng.Now()
+	e.met.faultsTotal.Inc()
+	e.trace.Instant(obs.CatFault, f.Kind.String(), now, f.Node, laneHeartbeat, obs.Int("node", f.Node))
+	switch f.Kind {
+	case faults.NodeCrash:
+		if !tt.alive {
+			return
+		}
+		tt.alive = false
+		if tt.hbEv != nil {
+			tt.hbEv.Cancel()
+		}
+		// Its tasks die silently; the JobTracker only learns at expiry.
+		for split := 0; split < len(e.splitDone); split++ {
+			for _, run := range e.attempts[split] {
+				if run.tt == tt {
+					run.ev.Cancel()
+				}
+			}
+		}
+		for p := 0; p < e.jt.totalReduces; p++ {
+			if run, ok := e.reduceRuns[p]; ok && run.tt == tt && run.ev != nil {
+				run.ev.Cancel()
+			}
+		}
+		if f.RestartAfter > 0 {
+			e.pendingRestarts++
+			e.eng.After(sim.Duration(f.RestartAfter), func() { e.restartNode(tt) })
+		}
+	case faults.HeartbeatLoss:
+		if until := now + sim.Time(f.Duration); until > tt.hbLostUntil {
+			tt.hbLostUntil = until
+		}
+	case faults.GPURetire:
+		e.retireGPU(tt)
+	case faults.Slowdown:
+		tt.slowFactor = f.Factor
+		if f.Duration > 0 {
+			tt.slowUntil = now + sim.Time(f.Duration)
+			tt.permSlow = false
+		} else {
+			tt.permSlow = true
+		}
+	}
+}
+
+// retireGPU permanently removes one GPU from the node, aborting whatever
+// ran on it and demoting that split to the CPU path.
+func (e *engine) retireGPU(tt *taskTracker) {
+	if tt.gpuTotal <= 0 {
+		return
+	}
+	tt.gpuTotal--
+	if tt.gpuFree > 0 {
+		// An idle device retired; the slot just disappears.
+		tt.gpuFree--
+	} else {
+		// Abort the node's oldest running GPU attempt (lowest split id for
+		// determinism); its slot vanishes with the device.
+		for split := 0; split < len(e.splitDone); split++ {
+			var victim *attemptRun
+			for _, run := range e.attempts[split] {
+				if run.tt == tt && run.onGPU {
+					victim = run
+					break
+				}
+			}
+			if victim == nil {
+				continue
+			}
+			victim.ev.Cancel()
+			e.dropAttempt(victim)
+			e.stats.LostAttempts++
+			e.met.failRetired.Inc()
+			e.gpuDemoted[split] = true
+			if !e.splitDone[split] && len(e.attempts[split]) == 0 {
+				e.jt.requeue(split)
+			}
+			break
+		}
+	}
+	if tt.gpuTotal == 0 {
+		// No GPUs left: whatever waited in the driver queue reschedules.
+		for _, q := range tt.gpuQueue {
+			e.met.queueDepth.Add(-1)
+			if !e.splitDone[q.split] && len(e.attempts[q.split]) == 0 {
+				e.jt.requeue(q.split)
+			}
+		}
+		tt.gpuQueue = nil
+	}
+}
+
+// restartNode brings a crashed tracker back RestartAfter seconds later.
+func (e *engine) restartNode(tt *taskTracker) {
+	e.pendingRestarts--
+	if e.err != nil || e.jt.done() || tt.alive {
+		return
+	}
+	tt.alive = true
+	if !tt.deadDeclared {
+		// The crash was shorter than the expiry window, but the process
+		// state and local map outputs are gone all the same.
+		e.declareDead(tt, "node-restart")
+	}
+	if e.err != nil {
+		return
+	}
+	e.trace.Instant(obs.CatRecovery, "node-restarted", e.eng.Now(), tt.node, laneHeartbeat)
+	e.heartbeat(tt.node) // re-registers and restarts the heartbeat loop
 }
 
 // placeMap applies the TaskTracker-side policy (TailScheduleOnTT).
 func (e *engine) placeMap(tt *taskTracker, split int) {
+	// A split whose GPU attempt failed retries on the CPU path when a CPU
+	// slot is open (failure demotion, paper §5.1).
+	if e.gpuDemoted[split] && tt.cpuFree > 0 {
+		e.startMap(tt, split, false)
+		return
+	}
 	switch e.cfg.Scheduler {
 	case CPUOnly:
 		e.startMap(tt, split, false)
@@ -412,7 +814,7 @@ func (e *engine) placeMap(tt *taskTracker, split int) {
 		}
 	case TailSched:
 		taskTail := float64(e.cfg.Node.GPUs) * tt.speedup
-		if tt.speedup > 0 && tt.remainingPerNode <= taskTail {
+		if tt.speedup > 0 && tt.gpuTotal > 0 && tt.remainingPerNode <= taskTail {
 			// Task tail: force GPU execution even if the GPU is busy.
 			e.stats.ForcedGPUTasks++
 			e.met.forced.Inc()
@@ -451,6 +853,15 @@ func (e *engine) startAttempt(tt *taskTracker, split int, onGPU, speculative boo
 	if e.err != nil {
 		return
 	}
+	attemptID := e.attemptSeq[split]
+	e.attemptSeq[split]++
+	if !onGPU && e.gpuDemoted[split] {
+		// The demoted split reached a CPU slot: the GPU→CPU fallback.
+		e.gpuDemoted[split] = false
+		e.stats.GPUFallbacks++
+		e.met.gpuFallbacks.Inc()
+		e.trace.Instant(obs.CatRecovery, "gpu-fallback", e.eng.Now(), tt.node, laneCPU, obs.Int("split", split))
+	}
 	attempt, err := e.exec.MapTask(split, onGPU, tt.node)
 	if err != nil {
 		e.fail(fmt.Errorf("mr: map task %d on node %d: %w", split, tt.node, err))
@@ -461,10 +872,11 @@ func (e *engine) startAttempt(tt *taskTracker, split int, onGPU, speculative boo
 	} else {
 		tt.cpuFree--
 	}
-	// Fault injection: a GPU attempt may fail partway; the driver reports
-	// the failure and Hadoop reschedules the task (paper §5.1).
-	failed := onGPU && e.cfg.GPUFailureRate > 0 && e.rng.Float64() < e.cfg.GPUFailureRate
-	duration := attempt.Duration
+	// Fault injection: the plan decides per (task, attempt, device) whether
+	// this attempt fails partway; the driver reports the failure and the
+	// JobTracker reschedules the task (paper §5.1).
+	failed := e.plan.AttemptFails(split, attemptID, onGPU)
+	duration := attempt.Duration * tt.slowdown(e.eng.Now())
 	if failed {
 		duration *= 0.5 // detected mid-task
 	}
@@ -482,12 +894,7 @@ func (e *engine) startAttempt(tt *taskTracker, split int, onGPU, speculative boo
 			// A sibling attempt already finished; nothing to record.
 			e.recordMapSpan(tt, split, onGPU, speculative, duration, "lost")
 		case failed:
-			e.stats.Retries++
-			e.met.retries.Inc()
-			e.recordMapSpan(tt, split, onGPU, speculative, duration, "failed")
-			if len(e.attempts[split]) == 0 {
-				e.jt.requeue(split)
-			}
+			e.attemptFailed(run, attemptID, duration)
 		default:
 			e.splitDone[split] = true
 			if speculative {
@@ -506,10 +913,65 @@ func (e *engine) startAttempt(tt *taskTracker, split int, onGPU, speculative boo
 				e.drainGPUQueue(o.tt)
 			}
 			delete(e.attempts, split)
-			e.completeMap(tt, split, onGPU, speculative, attempt)
+			e.completeMap(tt, split, onGPU, speculative, duration, attempt)
 		}
 		e.drainGPUQueue(tt)
 	})
+}
+
+// attemptFailed handles an injected attempt failure: retry accounting, GPU
+// demotion, the per-task attempt cap, and node blacklisting.
+func (e *engine) attemptFailed(run *attemptRun, attemptID int, duration float64) {
+	split, tt := run.split, run.tt
+	e.stats.FailedAttempts++
+	e.failCount[split]++
+	var cause error = faults.ErrInjected
+	if run.onGPU {
+		e.stats.Retries++
+		e.met.retries.Inc()
+		e.met.failInjGPU.Inc()
+		e.gpuDemoted[split] = true
+		cause = &gpurt.AbortError{Kernel: "map", Cause: faults.ErrInjected}
+	} else {
+		e.met.failInjCPU.Inc()
+	}
+	e.recordMapSpan(tt, split, run.onGPU, run.speculative, duration, "failed")
+	e.trace.Instant(obs.CatFault, "attempt-fail", e.eng.Now(), tt.node, laneHeartbeat,
+		obs.Int("split", split), obs.Int("attempt", attemptID))
+	if e.failCount[split] >= e.cfg.MaxTaskAttempts {
+		e.fail(&JobFailure{
+			Kind:     FailTaskAttemptsExhausted,
+			Task:     split,
+			Node:     tt.node,
+			Attempts: e.failCount[split],
+			Cause:    cause,
+		})
+		return
+	}
+	e.noteNodeFailure(tt)
+	if len(e.attempts[split]) == 0 {
+		e.jt.requeue(split)
+	}
+}
+
+// noteNodeFailure counts a task failure against the node and blacklists it
+// with exponential backoff once it accumulates NodeFailureLimit of them.
+func (e *engine) noteNodeFailure(tt *taskTracker) {
+	tt.failures++
+	if tt.failures < e.cfg.NodeFailureLimit {
+		return
+	}
+	tt.failures = 0
+	backoff := e.cfg.BlacklistBackoffSec
+	for i := 0; i < tt.blacklists; i++ {
+		backoff *= 2
+	}
+	tt.blacklists++
+	tt.blacklisted = e.eng.Now() + sim.Time(backoff)
+	e.stats.NodeBlacklists++
+	e.met.blacklists.Inc()
+	e.trace.Instant(obs.CatRecovery, "node-blacklisted", e.eng.Now(), tt.node, laneHeartbeat,
+		obs.Float("backoff", backoff))
 }
 
 // recordMapSpan emits one map attempt's trace span, placed backwards from
@@ -549,6 +1011,10 @@ func (e *engine) dropAttempt(run *attemptRun) {
 
 // drainGPUQueue starts a queued forced-GPU task if a slot is free.
 func (e *engine) drainGPUQueue(tt *taskTracker) {
+	if !tt.alive || tt.deadDeclared {
+		// declareDead flushes the queue; don't start work on a dead node.
+		return
+	}
 	if tt.gpuFree > 0 && len(tt.gpuQueue) > 0 {
 		next := tt.gpuQueue[0]
 		tt.gpuQueue = tt.gpuQueue[1:]
@@ -599,26 +1065,27 @@ func (e *engine) trySpeculate(tt *taskTracker) {
 	}
 }
 
-func (e *engine) completeMap(tt *taskTracker, split int, onGPU, speculative bool, attempt MapAttempt) {
+func (e *engine) completeMap(tt *taskTracker, split int, onGPU, speculative bool, duration float64, attempt MapAttempt) {
 	jt := e.jt
 	jt.mapResults[split] = attempt
+	e.mapHost[split] = tt.node
 	jt.mapsDone++
 	jt.lastMapDone = e.eng.Now()
-	tt.observe(attempt.Duration, onGPU)
-	e.recordMapSpan(tt, split, onGPU, speculative, attempt.Duration, "won")
+	tt.observe(duration, onGPU)
+	e.recordMapSpan(tt, split, onGPU, speculative, duration, "won")
 	if onGPU {
 		e.stats.MapsOnGPU++
-		e.gpuDurSum += attempt.Duration
+		e.gpuDurSum += duration
 		e.gpuDurN++
-		e.met.mapDurGPU.Observe(attempt.Duration)
+		e.met.mapDurGPU.Observe(duration)
 		if attempt.GPU != nil {
-			e.recordKernelDetail(tt, attempt.Duration, attempt.GPU)
+			e.recordKernelDetail(tt, duration, attempt.GPU)
 		}
 	} else {
 		e.stats.MapsOnCPU++
-		e.cpuDurSum += attempt.Duration
+		e.cpuDurSum += duration
 		e.cpuDurN++
-		e.met.mapDurCPU.Observe(attempt.Duration)
+		e.met.mapDurCPU.Observe(duration)
 	}
 	if jt.mapsDone == jt.totalMaps {
 		e.stats.MapPhaseEnd = float64(e.eng.Now())
@@ -665,18 +1132,22 @@ func (e *engine) recordKernelDetail(tt *taskTracker, duration float64, d *GPUAtt
 // are done.
 func (e *engine) launchReduce(tt *taskTracker, p int) {
 	assign := e.eng.Now()
+	run := &reduceRun{p: p, tt: tt}
+	e.reduceRuns[p] = run
 	// The reduce executes functionally when all map inputs exist; defer
 	// the work until the map phase completes by polling on map completion
 	// via a gate event.
 	var gate func()
 	gate = func() {
-		if e.err != nil {
+		if e.err != nil || e.reduceRuns[p] != run {
+			// Superseded: the attempt was canceled after its host died.
 			return
 		}
 		if e.jt.mapsDone < e.jt.totalMaps {
-			e.eng.After(sim.Duration(e.cfg.HeartbeatSec), gate)
+			run.ev = e.eng.After(sim.Duration(e.cfg.HeartbeatSec), gate)
 			return
 		}
+		e.jt.reduceFetched[p] = true
 		inputs := make([][]kv.Pair, 0, e.jt.totalMaps)
 		for _, res := range e.jt.mapResults {
 			if res.Partitions != nil && p < len(res.Partitions) {
@@ -708,7 +1179,11 @@ func (e *engine) launchReduce(tt *taskTracker, p int) {
 			tt.node, lane, obs.Int("partition", p))
 		e.trace.Span(obs.CatReduce, "reduce-"+strconv.Itoa(p), sim.Time(shuffleDone),
 			sim.Time(shuffleDone+work.ComputeTime), tt.node, lane, obs.Int("partition", p))
-		e.eng.At(sim.Time(shuffleDone+work.ComputeTime), func() {
+		run.ev = e.eng.At(sim.Time(shuffleDone+work.ComputeTime), func() {
+			if e.reduceRuns[p] != run {
+				return
+			}
+			delete(e.reduceRuns, p)
 			tt.redFree++
 			e.jt.reduceOut[p] = work.Output
 			e.jt.reducesDone++

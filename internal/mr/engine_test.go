@@ -123,9 +123,13 @@ func TestFailureOnlyAffectsGPUTasks(t *testing.T) {
 }
 
 func TestRequeueAfterFailureKeepsLocalityStats(t *testing.T) {
+	// The 0.5 rate is extreme enough that some task can fail 4 GPU attempts
+	// in a row; raise the cap so the attempt limit (tested elsewhere) does
+	// not cut this requeue-accounting test short.
 	stats, err := RunJob(ClusterConfig{
 		Slaves: 4, Node: NodeConfig{MapSlots: 2, ReduceSlots: 1, GPUs: 1},
 		Scheduler: GPUFirst, HeartbeatSec: 0.5, GPUFailureRate: 0.5, Seed: 8,
+		MaxTaskAttempts: 10,
 	}, uniformExec(100, 0, 4, 10, 1))
 	if err != nil {
 		t.Fatal(err)

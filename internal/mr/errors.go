@@ -1,0 +1,55 @@
+package mr
+
+import "fmt"
+
+// FailureKind classifies why a job failed.
+type FailureKind int
+
+// Job failure kinds.
+const (
+	// FailTaskAttemptsExhausted: one map task failed MaxTaskAttempts times.
+	FailTaskAttemptsExhausted FailureKind = iota
+	// FailClusterDead: every TaskTracker died with no restart pending, so
+	// no slot will ever run the remaining work.
+	FailClusterDead
+	// FailStalled: the simulation drained its event queue with work still
+	// outstanding (a scheduling bug or an adversarial fault plan).
+	FailStalled
+)
+
+func (k FailureKind) String() string {
+	switch k {
+	case FailTaskAttemptsExhausted:
+		return "task-attempts-exhausted"
+	case FailClusterDead:
+		return "cluster-dead"
+	case FailStalled:
+		return "stalled"
+	default:
+		return fmt.Sprintf("FailureKind(%d)", int(k))
+	}
+}
+
+// JobFailure is the structured error RunJob returns when fault tolerance
+// gives up on a job. Task and Node are -1 when not applicable.
+type JobFailure struct {
+	Kind     FailureKind
+	Task     int
+	Node     int
+	Attempts int
+	Cause    error
+}
+
+func (f *JobFailure) Error() string {
+	switch f.Kind {
+	case FailTaskAttemptsExhausted:
+		return fmt.Sprintf("mr: job failed: map task %d failed %d attempts (last on node %d): %v",
+			f.Task, f.Attempts, f.Node, f.Cause)
+	case FailClusterDead:
+		return "mr: job failed: every TaskTracker is dead and none will restart"
+	default:
+		return fmt.Sprintf("mr: job failed (%v): %v", f.Kind, f.Cause)
+	}
+}
+
+func (f *JobFailure) Unwrap() error { return f.Cause }

@@ -14,6 +14,7 @@ package mr
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/gpurt"
 	"repro/internal/kv"
 	"repro/internal/obs"
@@ -75,9 +76,27 @@ type ClusterConfig struct {
 	ReduceSlowstart float64
 	// ShuffleGBs is the per-reducer fetch bandwidth.
 	ShuffleGBs float64
-	// GPUFailureRate injects per-attempt GPU task failures for fault
-	// tolerance testing (0 = none).
+	// GPUFailureRate injects per-attempt GPU task failures (0 = none).
+	// Compatibility shim: when Faults is nil, a non-zero rate synthesizes
+	// an equivalent faults.Plan. Ignored when Faults is set.
 	GPUFailureRate float64
+	// Faults is the deterministic fault-injection plan for the run (nil =
+	// perfect cluster, modulo GPUFailureRate above). The plan is cloned, so
+	// the caller's copy is never mutated; a zero plan seed inherits Seed.
+	Faults *faults.Plan
+	// MaxTaskAttempts caps failed attempts per map task before the job is
+	// failed with a JobFailure (Hadoop mapred.map.max.attempts). Default 4.
+	MaxTaskAttempts int
+	// HeartbeatExpirySec is how long the JobTracker tolerates silence
+	// before declaring a TaskTracker dead, requeueing its running attempts
+	// and re-executing its committed map outputs. Default 10 heartbeats.
+	HeartbeatExpirySec float64
+	// NodeFailureLimit is the task-failure count that blacklists a node.
+	// Default 3.
+	NodeFailureLimit int
+	// BlacklistBackoffSec is the first blacklist duration; it doubles with
+	// each further blacklisting of the node. Default 4 heartbeats.
+	BlacklistBackoffSec float64
 	// SpeculativeExecution enables backup attempts for straggling map
 	// tasks on idle slots once the pending queue drains. The paper's runs
 	// disable it (Table 3); this reproduction implements it as an
@@ -104,6 +123,18 @@ func (c *ClusterConfig) fillDefaults() {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.MaxTaskAttempts == 0 {
+		c.MaxTaskAttempts = 4
+	}
+	if c.HeartbeatExpirySec == 0 {
+		c.HeartbeatExpirySec = 10 * c.HeartbeatSec
+	}
+	if c.NodeFailureLimit == 0 {
+		c.NodeFailureLimit = 3
+	}
+	if c.BlacklistBackoffSec == 0 {
+		c.BlacklistBackoffSec = 4 * c.HeartbeatSec
 	}
 }
 
@@ -201,4 +232,22 @@ type JobStats struct {
 	GPUQueueWaitSec float64
 	// GPUQueuePeak is the deepest any single node's GPU driver queue got.
 	GPUQueuePeak int
+	// FailedAttempts counts injected task-attempt failures (CPU and GPU).
+	FailedAttempts int
+	// LostAttempts counts running attempts killed by node death or GPU
+	// retirement.
+	LostAttempts int
+	// NodesLost counts TaskTracker deaths the JobTracker declared.
+	NodesLost int
+	// MapsReexecuted counts committed map outputs re-run after their host
+	// died while reducers still needed them (map-output-loss semantics).
+	MapsReexecuted int
+	// NodeBlacklists counts blacklist decisions against failing nodes.
+	NodeBlacklists int
+	// GPUFallbacks counts splits demoted to the CPU path after a GPU
+	// attempt failure or device retirement.
+	GPUFallbacks int
+	// ReducesRestarted counts reduce attempts restarted after their host
+	// died.
+	ReducesRestarted int
 }

@@ -26,6 +26,8 @@ const (
 	CatShuffle      = "shuffle"
 	CatReduce       = "reduce"
 	CatKernel       = "kernel"
+	CatFault        = "fault"
+	CatRecovery     = "recovery"
 )
 
 // Attr is one key/value annotation on a span. The value is stored

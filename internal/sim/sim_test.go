@@ -73,6 +73,53 @@ func TestEngineCancel(t *testing.T) {
 	}
 }
 
+func TestEngineCancelAfterFiring(t *testing.T) {
+	// Cancelling an event that already fired (popped from the queue) must be
+	// a no-op: it must not panic, corrupt the queue, or affect later events.
+	e := NewEngine()
+	var got []int
+	var first *Event
+	first = e.At(1, func() {
+		got = append(got, 1)
+		first.Cancel() // self-cancel while firing
+	})
+	e.At(2, func() {
+		got = append(got, 2)
+		first.Cancel() // cancel an event long since fired
+	})
+	e.At(3, func() { got = append(got, 3) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("Fired = %d, want 3", e.Fired())
+	}
+	first.Cancel() // and once more after the run completes
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineRunUntilDeadlineEquality(t *testing.T) {
+	// An event scheduled exactly at the deadline fires (the contract is
+	// firing times <= deadline), and one epsilon later does not.
+	e := NewEngine()
+	var got []Time
+	e.At(3, func() { got = append(got, 3) })
+	e.At(Time(math.Nextafter(3, 4)), func() { t.Fatal("event after deadline fired") })
+	e.RunUntil(3)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("got %v, want [3]", got)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
 func TestEngineHalt(t *testing.T) {
 	e := NewEngine()
 	var got []int
