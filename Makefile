@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint ci bench
+.PHONY: all build test race vet fmt lint ci bench fuzz-smoke cover
 
 all: build
 
@@ -29,7 +29,30 @@ lint:
 	$(GO) run ./cmd/hdlint -q -benchmarks
 	$(GO) run ./cmd/hdlint -q examples/minic/*.c
 
-ci: fmt vet build test race lint
+# fuzz-smoke gives each native fuzz target a short budget on top of its
+# checked-in corpus. Longer runs: go test -fuzz FuzzParser ./internal/minic
+fuzz-smoke:
+	$(GO) test ./internal/minic -run '^$$' -fuzz '^FuzzLexer$$' -fuzztime 5s
+	$(GO) test ./internal/minic -run '^$$' -fuzz '^FuzzParser$$' -fuzztime 5s
+	$(GO) test ./internal/compiler -run '^$$' -fuzz '^FuzzParseDirective$$' -fuzztime 5s
+	$(GO) test ./internal/faults -run '^$$' -fuzz '^FuzzParseSpec$$' -fuzztime 5s
+
+# cover enforces statement-coverage floors on the correctness-critical
+# packages (thresholds sit ~5 points under current coverage).
+cover:
+	@set -e; \
+	check() { \
+		pct="$$($(GO) test -cover "$$1" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')"; \
+		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$1"; exit 1; fi; \
+		ok="$$(awk -v p="$$pct" -v m="$$2" 'BEGIN { print (p >= m) ? 1 : 0 }')"; \
+		if [ "$$ok" != 1 ]; then echo "cover: $$1 at $$pct% (< $$2% floor)"; exit 1; fi; \
+		echo "cover: $$1 $$pct% (floor $$2%)"; \
+	}; \
+	check ./internal/minic 80; \
+	check ./internal/compiler 80; \
+	check ./internal/mr 87
+
+ci: fmt vet build test race lint cover fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

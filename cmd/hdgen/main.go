@@ -1,0 +1,93 @@
+// Command hdgen reproduces the conformance harness's generated MiniC
+// programs outside `go test`: every seed fully determines a program and
+// its input, so a failing seed from internal/testkit can be inspected and
+// re-checked standalone.
+//
+// Usage:
+//
+//	hdgen -seed 17            print the generated program and its input
+//	hdgen -seed 17 -check     run the differential comparison for the seed
+//	hdgen -from 0 -to 220 -check    sweep a seed range (the CI corpus)
+//
+// Exit status: 1 if any checked seed fails compilation, linting, or
+// backend agreement; 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/testkit"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 0, "program seed to generate")
+	check := flag.Bool("check", false, "run the differential comparison instead of printing")
+	from := flag.Uint64("from", 0, "first seed of a -check sweep (with -to)")
+	to := flag.Uint64("to", 0, "one past the last seed of a -check sweep")
+	flag.Parse()
+
+	if *to > *from {
+		failed := 0
+		for s := *from; s < *to; s++ {
+			if !checkSeed(s, true) {
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "hdgen: %d/%d seeds failed\n", failed, *to-*from)
+			os.Exit(1)
+		}
+		fmt.Printf("hdgen: %d seeds OK\n", *to-*from)
+		return
+	}
+
+	if !*check {
+		p := testkit.Generate(*seed)
+		fmt.Printf("// seed %d  name %s  reducers %d\n", p.Seed, p.Name, p.Reducers)
+		fmt.Printf("// --- mapper ---\n%s\n", p.MapSrc)
+		if p.CombineSrc != "" {
+			fmt.Printf("// --- combiner ---\n%s\n", p.CombineSrc)
+		}
+		if p.ReduceSrc != "" {
+			fmt.Printf("// --- reducer ---\n%s\n", p.ReduceSrc)
+		}
+		fmt.Printf("// --- input (%d bytes) ---\n%s", len(p.Input), p.Input)
+		return
+	}
+	if !checkSeed(*seed, false) {
+		os.Exit(1)
+	}
+}
+
+// checkSeed runs one seed through compile, lint, and the three backends.
+func checkSeed(seed uint64, brief bool) bool {
+	p := testkit.Generate(seed)
+	cj, err := testkit.Compile(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seed %d: compile: %v\n", seed, err)
+		return false
+	}
+	if bad := testkit.Lint(p); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "seed %d: %d lint findings (first: %s)\n", seed, len(bad), bad[0].Message)
+		return false
+	}
+	res, err := testkit.RunDifferentialCompiled(cj, p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seed %d: %v\n", seed, err)
+		return false
+	}
+	if !res.Agree() {
+		fmt.Fprintf(os.Stderr, "seed %d: backends disagree\n", seed)
+		if !brief {
+			fmt.Fprintf(os.Stderr, "--- sequential ---\n%s--- streaming ---\n%s--- gpu ---\n%s",
+				res.Sequential, res.Streaming, res.GPU)
+		}
+		return false
+	}
+	if !brief {
+		fmt.Printf("seed %d: OK (%d output bytes, %d reducers)\n", seed, len(res.Sequential), p.Reducers)
+	}
+	return true
+}

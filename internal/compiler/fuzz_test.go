@@ -1,0 +1,21 @@
+package compiler
+
+import "testing"
+
+// FuzzParseDirective asserts the pragma-clause parser never panics and
+// never returns a directive together with an error.
+func FuzzParseDirective(f *testing.F) {
+	f.Add("#pragma mapreduce mapper key(k) value(v)")
+	f.Add("#pragma mapreduce mapper key(word) value(one) keylength(30) kvpairs(48) blocks(8) threads(32)")
+	f.Add("#pragma mapreduce combiner key(pk) keyin(k) value(pv) valuein(v) firstprivate(pk, pv)")
+	f.Add("#pragma mapreduce mapper key(k) value(v) sharedRO(M) texture(tbl)")
+	f.Add("#pragma mapreduce mapper key(k) key(k) value(v)")
+	f.Add("#pragma mapreduce mapper key(k value(v)")
+	f.Add("#pragma omp parallel for")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := ParseDirective(text)
+		if err != nil && d != nil {
+			t.Fatalf("both directive and error for %q: %v", text, err)
+		}
+	})
+}

@@ -1,0 +1,30 @@
+package faults
+
+import "testing"
+
+// FuzzParseSpec asserts the fault-spec parser never panics, never returns
+// a plan together with an error, and that every accepted plan survives
+// Validate against a small cluster without panicking.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("seed=7;gpurate=0.3")
+	f.Add("crash(node=1,at=5,restart=10);hbloss(node=0,at=2,for=8)")
+	f.Add("retire(node=2,at=1);slow(node=3,at=0,for=100,factor=4)")
+	f.Add("taskfail(task=7,attempt=0,dev=gpu);cpurate=0.05")
+	f.Add(" crash( node = 1 , at = 5 ) ; ")
+	f.Add("crash(node=1)")
+	f.Add("bogus(node=1,at=2)")
+	f.Add("seed=notanumber")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("both plan and error for %q: %v", spec, err)
+			}
+			return
+		}
+		if p == nil {
+			t.Fatalf("nil plan and nil error for %q", spec)
+		}
+		_ = p.Validate(8)
+	})
+}

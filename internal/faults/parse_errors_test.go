@@ -1,0 +1,132 @@
+package faults
+
+import "testing"
+
+// TestParseErrorMessages pins the exact diagnostic for each malformed-spec
+// class: the -faults flag prints these verbatim, so they must name the
+// offending item and what was expected instead.
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{
+			"frobnicate(node=1)",
+			`faults: unknown fault kind "frobnicate"`,
+		},
+		{
+			"gpurate=1.5",
+			`faults: bad failure rate "1.5" (want [0,1))`,
+		},
+		{
+			"cpurate=x",
+			`faults: bad failure rate "x" (want [0,1))`,
+		},
+		{
+			"seed=abc",
+			`faults: bad seed "abc"`,
+		},
+		{
+			"crash(at=1)",
+			"faults: crash needs node=",
+		},
+		{
+			"taskfail(attempt=2)",
+			"faults: taskfail needs task=",
+		},
+		{
+			"crash(node=1,when=3)",
+			`faults: crash: bad argument "when=3": unknown argument`,
+		},
+		{
+			"taskfail(task=1,dev=tpu)",
+			`faults: taskfail: bad argument "dev=tpu": want any|cpu|gpu`,
+		},
+		{
+			"crash(node=one,at=3)",
+			`faults: crash: bad argument "node=one": strconv.Atoi: parsing "one": invalid syntax`,
+		},
+		{
+			"hbloss(node 0)",
+			`faults: hbloss: cannot parse argument "node 0"`,
+		},
+		{
+			"slow node=1 at=2",
+			`faults: unknown setting "slow node"`,
+		},
+		{
+			"crash(node=1,at)",
+			`faults: crash: cannot parse argument "at"`,
+		},
+		{
+			"tempo=allegro",
+			`faults: unknown setting "tempo"`,
+		},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted, want %q", tc.spec, tc.want)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("Parse(%q):\n got %q\nwant %q", tc.spec, err.Error(), tc.want)
+		}
+	}
+}
+
+// TestValidateErrorMessages pins the exact message for each out-of-range
+// plan class, including the fault index and cluster size it reports.
+func TestValidateErrorMessages(t *testing.T) {
+	cases := []struct {
+		plan *Plan
+		want string
+	}{
+		{
+			&Plan{CPUFailureRate: -0.1},
+			"faults: CPU failure rate -0.1 outside [0,1)",
+		},
+		{
+			&Plan{GPUFailureRate: 1.0},
+			"faults: GPU failure rate 1 outside [0,1)",
+		},
+		{
+			&Plan{Faults: []Fault{{Kind: NodeCrash, Node: 4, At: 1}}},
+			"faults: fault 0 (node-crash): node 4 outside cluster of 4",
+		},
+		{
+			&Plan{Faults: []Fault{
+				{Kind: NodeCrash, Node: 0, At: 1},
+				{Kind: GPURetire, Node: -1, At: 1},
+			}},
+			"faults: fault 1 (gpu-retire): node -1 outside cluster of 4",
+		},
+		{
+			&Plan{Faults: []Fault{{Kind: NodeCrash, Node: 0, At: -1}}},
+			"faults: fault 0 (node-crash): negative time -1",
+		},
+		{
+			&Plan{Faults: []Fault{{Kind: HeartbeatLoss, Node: 0, At: 1}}},
+			"faults: fault 0: heartbeat loss needs a positive duration",
+		},
+		{
+			&Plan{Faults: []Fault{{Kind: Slowdown, Node: 0, At: 1, Duration: 5}}},
+			"faults: fault 0: slowdown needs a positive factor",
+		},
+		{
+			&Plan{Faults: []Fault{{Kind: TaskFail, Task: -1}}},
+			"faults: fault 0: task-fail needs a task",
+		},
+		{
+			&Plan{Faults: []Fault{{Kind: NodeCrash, Node: 0, At: 1, RestartAfter: -2}}},
+			"faults: fault 0: negative restart delay",
+		},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate(4)
+		if err == nil {
+			t.Errorf("Validate accepted %+v, want %q", tc.plan, tc.want)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("Validate(%+v):\n got %q\nwant %q", tc.plan, err.Error(), tc.want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package minic
+
+import "testing"
+
+// FuzzLexer asserts the lexer never panics: any byte sequence either
+// tokenizes or returns a positioned error. Run long with
+// `go test -fuzz FuzzLexer ./internal/minic`; the checked-in corpus under
+// testdata/fuzz keeps the interesting shapes in every `go test` run.
+func FuzzLexer(f *testing.F) {
+	f.Add("int main() { return 0; }")
+	f.Add("double x = 1.5e-3; // comment\n")
+	f.Add("char *s = \"a\\tb\\\"c\";")
+	f.Add("#pragma mapreduce mapper key(k) value(v)")
+	f.Add("0x1f + 'c' % /* block */ 12")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := LexFile("fuzz.c", src)
+		if err == nil && len(toks) == 0 {
+			t.Fatalf("no tokens and no error for %q", src)
+		}
+	})
+}
+
+// FuzzParser asserts the parser and semantic checker never panic and never
+// accept a program without producing an AST.
+func FuzzParser(f *testing.F) {
+	f.Add("int main() { return 0; }")
+	f.Add(`int add(int a, int b) { return a + b; }
+int main() { int x = add(1, 2); printf("%d\n", x); return 0; }`)
+	f.Add(`int main() {
+	int key, val, read; char *line; size_t n = 100;
+	line = (char*) malloc(100);
+	#pragma mapreduce mapper key(key) value(val)
+	while ((read = getline(&line, &n, stdin)) != -1) {
+		key = read; val = 1;
+		printf("%d\t%d\n", key, val);
+	}
+	free(line);
+	return 0;
+}`)
+	f.Add("int main() { for (int i = 0; i < 3; i++) { } return 0 }")
+	f.Add("int a[4]; int main() { a[5] = (1 ? 2 : 3); return 0; }")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ParseAndCheckFile("fuzz.c", src)
+		if err == nil && prog == nil {
+			t.Fatalf("nil program and nil error for %q", src)
+		}
+	})
+}

@@ -298,6 +298,9 @@ func (lx *Lexer) lexChar() (Token, error) {
 	}
 	c := lx.advance()
 	if c == '\\' {
+		if lx.off >= len(lx.src) {
+			return Token{}, lx.errf("unterminated escape")
+		}
 		e := lx.advance()
 		dec, err := decodeEscape(e)
 		if err != nil {

@@ -1,0 +1,101 @@
+package testkit
+
+import (
+	"testing"
+)
+
+// NumDifferentialSeeds is the size of the checked generated-program corpus:
+// every seed in [0, N) must compile, lint clean, and agree byte-for-byte
+// across the sequential, streaming, and GPU backends.
+const NumDifferentialSeeds = 220
+
+// TestGeneratedProgramsAgreeAcrossBackends is the tentpole differential
+// suite: ≥200 generated programs, three backends, byte-identical output.
+// A failing seed reproduces standalone with
+// `go run ./cmd/hdgen -seed N -check`.
+func TestGeneratedProgramsAgreeAcrossBackends(t *testing.T) {
+	emitted := 0
+	for seed := uint64(0); seed < NumDifferentialSeeds; seed++ {
+		p := Generate(seed)
+		cj, err := Compile(p)
+		if err != nil {
+			t.Fatalf("seed %d: compile failed: %v\nmap source:\n%s\ncombine source:\n%s",
+				seed, err, p.MapSrc, p.CombineSrc)
+		}
+		if bad := Lint(p); len(bad) > 0 {
+			t.Fatalf("seed %d: %d lint findings (first: %s)\nmap source:\n%s",
+				seed, len(bad), bad[0].Message, p.MapSrc)
+		}
+		res, err := RunDifferentialCompiled(cj, p)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nmap source:\n%s", seed, err, p.MapSrc)
+		}
+		if !res.Agree() {
+			t.Fatalf("seed %d: backends disagree\nsequential:\n%s\nstreaming:\n%s\ngpu:\n%s\nmap source:\n%s\ncombine source:\n%s",
+				seed, head(res.Sequential), head(res.Streaming), head(res.GPU), p.MapSrc, p.CombineSrc)
+		}
+		if res.Sequential != "" {
+			emitted++
+		}
+	}
+	// The corpus must be overwhelmingly non-trivial: empty-output programs
+	// (a conditional emission that filters everything) are allowed but rare.
+	if emitted < NumDifferentialSeeds*9/10 {
+		t.Fatalf("only %d/%d generated programs produced output", emitted, NumDifferentialSeeds)
+	}
+}
+
+// head truncates long outputs in failure messages.
+func head(s string) string {
+	const max = 1200
+	if len(s) > max {
+		return s[:max] + "…"
+	}
+	return s
+}
+
+// TestGenerateIsDeterministic pins that a seed fully determines the
+// program and its input (the reproduce-a-failing-seed contract).
+func TestGenerateIsDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if a.MapSrc != b.MapSrc || a.CombineSrc != b.CombineSrc ||
+			a.ReduceSrc != b.ReduceSrc || a.Reducers != b.Reducers ||
+			string(a.Input) != string(b.Input) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+}
+
+// TestGeneratorCoversShapes asserts the corpus exercises every program
+// dimension: both key kinds, both value kinds, map-only and reduce jobs,
+// jobs with and without combiners.
+func TestGeneratorCoversShapes(t *testing.T) {
+	var wordKeys, doubleVals, mapOnly, combiners, reduces int
+	for seed := uint64(0); seed < NumDifferentialSeeds; seed++ {
+		p := Generate(seed)
+		if p.Key == KeyWord {
+			wordKeys++
+		}
+		if p.Val == ValDouble {
+			doubleVals++
+		}
+		if p.MapOnly {
+			mapOnly++
+		}
+		if p.CombineSrc != "" {
+			combiners++
+		}
+		if p.Reducers > 0 {
+			reduces++
+		}
+	}
+	for name, n := range map[string]int{
+		"word keys": wordKeys, "double values": doubleVals,
+		"map-only jobs": mapOnly, "combiners": combiners, "reduce jobs": reduces,
+	} {
+		if n < 10 {
+			t.Errorf("corpus has only %d programs with %s", n, name)
+		}
+	}
+}

@@ -1,0 +1,513 @@
+// Package testkit is the differential & metamorphic conformance harness:
+// a seeded random generator of directive-annotated MiniC MapReduce
+// programs, plus runners that execute each program through every backend
+// the system has — the sequential CPU interpreter (the reference
+// semantics), the Hadoop Streaming CPU cluster path, and the translated
+// GPU kernel path — and assert byte-identical job output.
+//
+// The paper's central claim (§4–§5) is that the translated GPU program is
+// semantically equivalent to the sequential C program; the eight PUMA
+// benchmarks exercise that claim at eight points. The generator turns it
+// into a property checked over arbitrarily many machine-made programs:
+// every program it emits is lint-clean (hdlint), legal for the GPU
+// translator, and constructed so its job output is deterministic across
+// record placement — aggregations are commutative, float values are
+// integer-valued (exactly representable through the CPU path's %f text
+// round-trip), and map-only keys are unique per record.
+//
+// Reproducing a failure is one seed: `go run ./cmd/hdgen -seed N` prints
+// the exact program and input, and `-check` re-runs the differential
+// comparison for it.
+package testkit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rng is a splitmix64 stream: tiny, seedable, and stable across Go
+// versions (math/rand's stream is not part of the compatibility promise).
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed ^ 0x6A09E667F3BCC909} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// rangen returns a uniform int in [lo, hi].
+func (r *rng) rangen(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+// chance returns true with probability num/den.
+func (r *rng) chance(num, den int) bool { return r.intn(den) < num }
+
+// KeyKind / ValKind describe the wire types a generated program emits.
+type KeyKind int
+
+// Key kinds.
+const (
+	KeyInt KeyKind = iota
+	KeyWord
+)
+
+// ValKind enumerates value types.
+type ValKind int
+
+// Value kinds. ValDouble values are always integer-valued so that sums
+// are exact in any order and the CPU path's printf("%f") text round-trip
+// is lossless — see Program.FloatValued for the one divergence this
+// sidesteps.
+const (
+	ValInt ValKind = iota
+	ValDouble
+)
+
+// AggOp is the per-key aggregation a generated reducer (and combiner)
+// applies. Both are commutative and associative, so partial combining on
+// GPU warp chunks and reduce-side merge order cannot change the result.
+type AggOp int
+
+// Aggregation ops.
+const (
+	AggSum AggOp = iota
+	AggMax
+)
+
+// Program is one generated MapReduce job: sources, reducer count, and a
+// matching synthetic input.
+type Program struct {
+	Seed       uint64
+	Name       string
+	MapSrc     string
+	CombineSrc string
+	ReduceSrc  string
+	Reducers   int
+	Input      []byte
+
+	Key KeyKind
+	Val ValKind
+	// MapOnly jobs emit unique keys per record (the engine canonicalizes
+	// map-only output by key only, so duplicate keys with distinct values
+	// would make output order placement-dependent).
+	MapOnly bool
+}
+
+// Generate builds the deterministic program for a seed. Two calls with
+// the same seed return identical programs and inputs.
+func Generate(seed uint64) Program {
+	r := newRNG(seed)
+	p := Program{Seed: seed, Name: fmt.Sprintf("gen-%d", seed)}
+
+	// Job shape.
+	switch r.intn(4) {
+	case 0:
+		p.MapOnly = true
+		p.Reducers = 0
+	default:
+		p.Reducers = r.rangen(1, 4)
+	}
+	if p.MapOnly {
+		p.Key = KeyInt // unique record ids
+	} else if r.chance(1, 3) {
+		p.Key = KeyWord
+	}
+	if r.chance(1, 3) {
+		p.Val = ValDouble
+	}
+	op := AggSum
+	if !p.MapOnly && r.chance(1, 3) {
+		op = AggMax
+	}
+
+	if p.Key == KeyWord {
+		p.MapSrc = genWordMapper(r, p.Val)
+		p.Input = wordInput(r, r.rangen(60, 120))
+	} else {
+		p.MapSrc = genIntMapper(r, &p)
+		p.Input = intInput(r, r.rangen(60, 140))
+	}
+	if !p.MapOnly {
+		// Combiners only make sense for ops the reducer can re-apply to
+		// partial aggregates; sum and max both qualify.
+		if r.chance(1, 2) {
+			p.CombineSrc = combineSrc(p.Key, p.Val, op, true)
+		}
+		p.ReduceSrc = combineSrc(p.Key, p.Val, op, false)
+	}
+	return p
+}
+
+// --- integer-field mappers -----------------------------------------------
+
+// intExpr builds a random arithmetic expression over the given operand
+// names and small constants. Division and modulus only ever use non-zero
+// constant divisors, so generated programs cannot trap.
+func intExpr(r *rng, depth int, operands []string) string {
+	if depth <= 0 || r.chance(1, 3) {
+		if r.chance(1, 4) {
+			return fmt.Sprintf("%d", r.rangen(1, 9))
+		}
+		return operands[r.intn(len(operands))]
+	}
+	a := intExpr(r, depth-1, operands)
+	b := intExpr(r, depth-1, operands)
+	switch r.intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case 3:
+		return fmt.Sprintf("(%s %% %d)", a, r.rangen(2, 31))
+	case 4:
+		return fmt.Sprintf("(%s / %d)", a, r.rangen(2, 9))
+	default:
+		return fmt.Sprintf("(%s > %s ? %s : %s)", a, b, a, b)
+	}
+}
+
+// genIntMapper emits a mapper that parses up to three integer fields per
+// record (the Histmovies idiom) and emits int or double values under one
+// of several emission shapes.
+func genIntMapper(r *rng, p *Program) string {
+	valDouble := p.Val == ValDouble
+	operands := []string{"f0", "f1", "f2"}
+
+	// Optional sharedRO scalar and texture table, both folded into the
+	// value expression so they are genuinely read.
+	var decls, pre, clauses []string
+	exprOps := operands
+	if r.chance(1, 2) {
+		decls = append(decls, fmt.Sprintf("	int M = %d;", r.rangen(3, 17)))
+		clauses = append(clauses, "sharedRO(M)")
+		exprOps = append(append([]string{}, exprOps...), "M")
+	}
+	useTexture := r.chance(1, 3)
+	if useTexture {
+		decls = append(decls, "	int tbl[16];")
+		pre = append(pre,
+			"	for (int ti = 0; ti < 16; ti++) tbl[ti] = (ti * 5 + 3) % 50;")
+		clauses = append(clauses, "texture(tbl)")
+	}
+
+	// Chained temporaries: each t_i consumes t_{i-1}, and the final value
+	// expression consumes the last one, so no store is ever dead.
+	var temps []string
+	tn := r.intn(3)
+	last := ""
+	for i := 0; i < tn; i++ {
+		ops := exprOps
+		if last != "" {
+			ops = append([]string{last}, exprOps...)
+		}
+		e := intExpr(r, 2, ops)
+		if last != "" && !strings.Contains(e, last) {
+			e = fmt.Sprintf("(%s + %s)", last, e)
+		}
+		temps = append(temps, fmt.Sprintf("		int t%d = %s;", i, e))
+		last = fmt.Sprintf("t%d", i)
+	}
+	valOps := exprOps
+	if last != "" {
+		valOps = append([]string{last}, exprOps...)
+	}
+	valExpr := intExpr(r, 2, valOps)
+	if last != "" && !strings.Contains(valExpr, last) {
+		valExpr = fmt.Sprintf("(%s + %s)", last, valExpr)
+	}
+	if useTexture {
+		valExpr = fmt.Sprintf("(%s + tbl[f1 %% 16])", valExpr)
+	}
+	// Every parsed field and the sharedRO scalar must be read somewhere or
+	// the dataflow pass flags dead stores / unused clause variables; fold
+	// them all into the value expression deterministically.
+	valExpr = fmt.Sprintf("(%s + (f0 %% 5) - (f1 %% 7) + (f2 %% 9))", valExpr)
+	if len(clauses) > 0 && clauses[0] == "sharedRO(M)" {
+		valExpr = fmt.Sprintf("(%s + M)", valExpr)
+	}
+
+	valDecl := "int val"
+	valFmt := "%d"
+	valCast := ""
+	if valDouble {
+		valDecl = "double val"
+		valFmt = "%f"
+		// Integer-valued doubles: exact under any summation order and
+		// under the CPU path's 6-decimal %f round-trip.
+		valCast = "(double) "
+	}
+
+	var body, keySetup string
+	kvpairs := 1
+	emitStmt := func(indent string) string {
+		return fmt.Sprintf("%sprintf(\"%%d\\t%s\\n\", key, val);", indent, valFmt)
+	}
+	keyExpr := intExpr(r, 1, exprOps)
+
+	switch shape := r.intn(4); {
+	case p.MapOnly:
+		// Unique key per record: the record id (first field) — or id*K+i
+		// for multi-emission — keeps map-only canonical output stable.
+		if r.chance(1, 2) {
+			keySetup = "		key = f0;\n"
+			body = fmt.Sprintf("		val = %s(%s);\n%s\n", valCast, valExpr, emitStmt("		"))
+		} else {
+			kvpairs = r.rangen(2, 3)
+			keySetup = ""
+			body = fmt.Sprintf(
+				"		for (int e = 0; e < %d; e++) {\n			key = f0 * %d + e;\n			val = %s(%s + e);\n	%s\n		}\n",
+				kvpairs, kvpairs, valCast, valExpr, emitStmt("		"))
+		}
+	case shape == 0: // one emission per record, folded key
+		keySetup = foldKey(keyExpr)
+		body = fmt.Sprintf("		val = %s(%s);\n%s\n", valCast, valExpr, emitStmt("		"))
+	case shape == 1: // conditional emission
+		keySetup = foldKey(keyExpr)
+		body = fmt.Sprintf(
+			"		val = %s(%s);\n		if (f1 %% %d != 0) {\n	%s\n		}\n",
+			valCast, valExpr, r.rangen(2, 5), emitStmt("		"))
+	case shape == 2: // inner emission loop
+		kvpairs = r.rangen(2, 4)
+		keySetup = ""
+		body = fmt.Sprintf(
+			"		for (int e = 0; e < %d; e++) {\n%s			val = %s(%s + e);\n	%s\n		}\n",
+			kvpairs, strings.ReplaceAll(foldKeyWith(keyExpr, "e"), "		key", "			key"), valCast, valExpr, emitStmt("		"))
+	default: // local histogram array, then a drain loop
+		kvpairs = 4
+		keySetup = ""
+		// The histogram increment is the full value expression: it is what
+		// keeps the chained temporaries and clause variables live here.
+		body = fmt.Sprintf(`		int acc[4];
+		for (int a = 0; a < 4; a++) acc[a] = 0;
+		acc[f1 %% 4] = acc[f1 %% 4] + (%s);
+		acc[f2 %% 4] = acc[f2 %% 4] + 1;
+		for (int a = 0; a < 4; a++) {
+			key = a + (f0 %% 3) * 4;
+			val = %s(acc[a]);
+	%s
+		}
+`, valExpr, valCast, emitStmt("		"))
+	}
+
+	clauseStr := ""
+	if len(clauses) > 0 {
+		clauseStr = " " + strings.Join(clauses, " ")
+	}
+	return fmt.Sprintf(`int main() {
+	int key, read;
+	%s;
+	char *line;
+	size_t nbytes = 10000;
+%s
+	line = (char*) malloc(nbytes * sizeof(char));
+%s
+	#pragma mapreduce mapper key(key) value(val) kvpairs(%d)%s blocks(8) threads(32)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		int f0 = 0, f1 = 0, f2 = 0;
+		int i = 0, nf = 0;
+		while (i < read) {
+			if (line[i] >= '0' && line[i] <= '9') {
+				int fv = atoi(line + i);
+				if (nf == 0) f0 = fv;
+				if (nf == 1) f1 = fv;
+				if (nf == 2) f2 = fv;
+				nf++;
+				while (i < read && line[i] >= '0' && line[i] <= '9') i++;
+			} else {
+				i++;
+			}
+		}
+%s%s%s	}
+	free(line);
+	return 0;
+}`, valDecl, strings.Join(decls, "\n"), strings.Join(pre, "\n"),
+		kvpairs, clauseStr, strings.Join(temps, "\n")+"\n", keySetup, body)
+}
+
+// foldKey folds an arbitrary int expression into the non-negative range
+// [0, 64) so combiner/reducer sentinel values (-1) stay unambiguous.
+func foldKey(expr string) string {
+	return fmt.Sprintf("		key = (%s) %% 64;\n		if (key < 0) key = -key;\n", expr)
+}
+
+// foldKeyWith additionally mixes a loop counter into the key.
+func foldKeyWith(expr, counter string) string {
+	return fmt.Sprintf("		key = (%s + %s * 7) %% 64;\n		if (key < 0) key = -key;\n", expr, counter)
+}
+
+// genWordMapper emits a wordcount-flavoured mapper: tokenize each record
+// and emit one pair per word, with a value derived from the word and
+// record — identical for identical (word, record) regardless of which
+// split or thread sees it.
+func genWordMapper(r *rng, val ValKind) string {
+	valDecl, valFmt, valCast := "int val", "%d", ""
+	if val == ValDouble {
+		valDecl, valFmt, valCast = "double val", "%f", "(double) "
+	}
+	valExpr := [...]string{
+		"1",
+		"wlen",
+		"(wlen + read % 5)",
+		"(wlen * 2 + 1)",
+	}[r.intn(4)]
+	// Declare wlen only when the value expression reads it; an unused
+	// declaration is an HD202 dead store.
+	wlenDecl := ""
+	if strings.Contains(valExpr, "wlen") {
+		wlenDecl = "int wlen = strlen(word);\n\t\t\t"
+	}
+	return fmt.Sprintf(`int getWord(char *line, int offset, char *word, int read, int maxw) {
+	int i = offset, j = 0;
+	while (i < read && (line[i] == ' ' || line[i] == '\n' || line[i] == '\t')) i++;
+	while (i < read && line[i] != ' ' && line[i] != '\n' && line[i] != '\t' && j < maxw - 1) {
+		word[j] = line[i];
+		i++; j++;
+	}
+	if (j == 0) return -1;
+	word[j] = '\0';
+	return i - offset;
+}
+int main() {
+	char word[24], *line;
+	size_t nbytes = 10000;
+	int read, linePtr, offset;
+	%s;
+	line = (char*) malloc(nbytes * sizeof(char));
+	#pragma mapreduce mapper key(word) value(val) keylength(24) kvpairs(16) blocks(8) threads(32)
+	while ((read = getline(&line, &nbytes, stdin)) != -1) {
+		offset = 0;
+		while ((linePtr = getWord(line, offset, word, read, 24)) != -1) {
+			%sval = %s(%s);
+			printf("%%s\t%s\n", word, val);
+			offset += linePtr;
+		}
+	}
+	free(line);
+	return 0;
+}`, valDecl, wlenDecl, valCast, valExpr, valFmt)
+}
+
+// --- combiner / reducer templates ----------------------------------------
+
+// combineSrc renders the aggregation filter for a key/value/op combo. With
+// pragma=true it carries the combiner directive (the GPU path), otherwise
+// it is the plain streaming reducer with identical logic — the benchmarks'
+// combiner/reducer twinning.
+func combineSrc(key KeyKind, val ValKind, op AggOp, pragma bool) string {
+	scanKey, printKey, keyDecl, keyInit, keyGuard, keyAssign := "%d", "%d",
+		"int prevKey, key", "prevKey = -1;", "prevKey != -1", "prevKey = key;"
+	cmpKey := "key == prevKey"
+	keyClauses := "key(prevKey) keyin(key)"
+	if key == KeyWord {
+		scanKey, printKey = "%s", "%s"
+		keyDecl = "char key[24], prevKey[24]"
+		keyInit = "prevKey[0] = '\\0';"
+		keyGuard = "prevKey[0] != '\\0'"
+		keyAssign = "strcpy(prevKey, key);"
+		cmpKey = "strcmp(key, prevKey) == 0"
+		keyClauses = "key(prevKey) keyin(key) keylength(24)"
+	}
+	scanVal, printVal, valDecl := "%d", "%d", "int acc, val"
+	if val == ValDouble {
+		scanVal, printVal, valDecl = "%lf", "%f", "double acc, val"
+	}
+	accumulate := "acc += val;"
+	if op == AggMax {
+		// The ternary form reads acc on the RHS, which is what the HD109
+		// accumulation check requires of a combiner value variable.
+		accumulate = "acc = (val > acc) ? val : acc;"
+	}
+	scanArgs := "&key, &val"
+	if key == KeyWord {
+		scanArgs = "key, &val"
+	}
+	directive := ""
+	openBrace, closeBrace, indent := "", "", "	"
+	if pragma {
+		directive = fmt.Sprintf(
+			"	#pragma mapreduce combiner %s value(acc) valuein(val) firstprivate(prevKey, acc) blocks(8) threads(32)\n",
+			keyClauses)
+		openBrace, closeBrace, indent = "	{\n", "	}\n", "		"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `int main() {
+	%s;
+	%s;
+	int read;
+	%s
+	acc = 0;
+%s%s`, keyDecl, valDecl, keyInit, directive, openBrace)
+	fmt.Fprintf(&b, `%swhile ((read = scanf("%s %s", %s)) == 2) {
+%s	if (%s) {
+%s		%s
+%s	} else {
+%s		if (%s)
+%s			printf("%s\t%s\n", prevKey, acc);
+%s		%s
+%s		acc = val;
+%s	}
+%s}
+%sif (%s)
+%s	printf("%s\t%s\n", prevKey, acc);
+`,
+		indent, scanKey, scanVal, scanArgs,
+		indent, cmpKey,
+		indent, accumulate,
+		indent,
+		indent, keyGuard,
+		indent, printKey, printVal,
+		indent, keyAssign,
+		indent,
+		indent,
+		indent,
+		indent, keyGuard,
+		indent, printKey, printVal)
+	b.WriteString(closeBrace)
+	b.WriteString("	return 0;\n}")
+	return b.String()
+}
+
+// --- inputs ---------------------------------------------------------------
+
+// intInput writes `id f1 f2` lines with a unique ascending id (map-only
+// keys derive from it) and bounded non-negative fields.
+func intInput(r *rng, records int) []byte {
+	var b strings.Builder
+	for i := 0; i < records; i++ {
+		fmt.Fprintf(&b, "%d %d %d\n", i, r.intn(1000), r.intn(1000))
+	}
+	return []byte(b.String())
+}
+
+var vocabulary = []string{
+	"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+	"iota", "kappa", "lambda", "mu", "nu", "xi", "omicron", "pi", "rho",
+	"sigma", "tau", "upsilon",
+}
+
+// wordInput writes lines of 2–7 vocabulary words.
+func wordInput(r *rng, records int) []byte {
+	var b strings.Builder
+	for i := 0; i < records; i++ {
+		n := r.rangen(2, 7)
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(vocabulary[r.intn(len(vocabulary))])
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}

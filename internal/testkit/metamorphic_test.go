@@ -1,0 +1,144 @@
+package testkit
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/mr"
+)
+
+// NumMetamorphicSeeds is how many generated programs each metamorphic
+// property is checked against. Smaller than the differential corpus: every
+// seed here runs several cluster configurations.
+const NumMetamorphicSeeds = 24
+
+// metaProgram compiles one generated program and its reference output.
+func metaProgram(t *testing.T, seed uint64) (mr.CompiledJob, Program, string) {
+	t.Helper()
+	p := Generate(seed)
+	cj, err := Compile(p)
+	if err != nil {
+		t.Fatalf("seed %d: compile: %v", seed, err)
+	}
+	ref, err := Reference(cj, p.Input)
+	if err != nil {
+		t.Fatalf("seed %d: reference: %v", seed, err)
+	}
+	return *cj, p, ref
+}
+
+// mustRun executes one cluster configuration and returns its text output.
+func mustRun(t *testing.T, cj *mr.CompiledJob, p Program, o ClusterOpts, what string) (*mr.JobStats, string) {
+	t.Helper()
+	stats, err := RunCluster(cj, p.Input, o)
+	if err != nil {
+		t.Fatalf("seed %d: %s: %v\nmap source:\n%s", p.Seed, what, err, p.MapSrc)
+	}
+	return stats, TextOutput(stats)
+}
+
+// TestOutputInvariantUnderSplitBoundaries: the HDFS block size decides how
+// the input is cut into fileSplits, and splits are record-aligned — so the
+// job output must not depend on it. 256 bytes forces many tiny splits,
+// 64 KiB collapses the whole input into one.
+func TestOutputInvariantUnderSplitBoundaries(t *testing.T) {
+	for seed := uint64(0); seed < NumMetamorphicSeeds; seed++ {
+		cj, p, ref := metaProgram(t, seed)
+		for _, bs := range []int64{256, 1024, 64 << 10} {
+			o := ClusterOpts{BlockSize: bs, Scheduler: mr.GPUFirst, Seed: seed}
+			if _, out := mustRun(t, &cj, p, o, fmt.Sprintf("blocksize %d", bs)); out != ref {
+				t.Fatalf("seed %d: block size %d changed the output\nwant:\n%s\ngot:\n%s\nmap source:\n%s",
+					seed, bs, head(ref), head(out), p.MapSrc)
+			}
+		}
+	}
+}
+
+// TestOutputInvariantUnderSlaveCount: how many TaskTrackers share the work
+// changes placement, concurrency, and commit order — never the output.
+func TestOutputInvariantUnderSlaveCount(t *testing.T) {
+	for seed := uint64(0); seed < NumMetamorphicSeeds; seed++ {
+		cj, p, ref := metaProgram(t, seed)
+		for _, slaves := range []int{1, 2, 5} {
+			o := ClusterOpts{Slaves: slaves, Scheduler: mr.GPUFirst, Seed: seed}
+			if _, out := mustRun(t, &cj, p, o, fmt.Sprintf("%d slaves", slaves)); out != ref {
+				t.Fatalf("seed %d: slave count %d changed the output\nwant:\n%s\ngot:\n%s\nmap source:\n%s",
+					seed, slaves, head(ref), head(out), p.MapSrc)
+			}
+		}
+	}
+}
+
+// TestOutputInvariantUnderScheduler: the three scheduling policies pick
+// different devices and orders for the same task set; the output is the
+// same fixed point.
+func TestOutputInvariantUnderScheduler(t *testing.T) {
+	for seed := uint64(0); seed < NumMetamorphicSeeds; seed++ {
+		cj, p, ref := metaProgram(t, seed)
+		for _, sched := range []mr.SchedulerKind{mr.CPUOnly, mr.GPUFirst, mr.TailSched} {
+			o := ClusterOpts{Scheduler: sched, Seed: seed}
+			if _, out := mustRun(t, &cj, p, o, fmt.Sprintf("scheduler %v", sched)); out != ref {
+				t.Fatalf("seed %d: scheduler %v changed the output\nwant:\n%s\ngot:\n%s\nmap source:\n%s",
+					seed, sched, head(ref), head(out), p.MapSrc)
+			}
+		}
+	}
+}
+
+// TestOutputInvariantUnderRecoveringFaults: every fault-plan shape the
+// spec language can express that the engine recovers from — crashes with
+// and without restart, heartbeat loss, GPU retirement, stragglers,
+// targeted task failures, and background failure rates — must leave the
+// output byte-identical to the clean run. Fault times are placed relative
+// to the clean run's map phase so each plan actually interrupts work in
+// flight.
+func TestOutputInvariantUnderRecoveringFaults(t *testing.T) {
+	const faultSeeds = 10
+	recoveries := map[string]int{}
+	for seed := uint64(0); seed < faultSeeds; seed++ {
+		cj, p, ref := metaProgram(t, seed)
+		clean, cleanOut := mustRun(t, &cj, p, ClusterOpts{Scheduler: mr.GPUFirst, Seed: seed}, "clean run")
+		if cleanOut != ref {
+			t.Fatalf("seed %d: clean cluster run disagrees with the reference", seed)
+		}
+		mid := clean.MapPhaseEnd / 2
+		late := clean.Makespan * 3 / 4
+		specs := []struct{ name, spec string }{
+			{"crash-permanent", fmt.Sprintf("crash(node=1,at=%g)", mid)},
+			{"crash-restart", fmt.Sprintf("crash(node=1,at=%g,restart=%g)", mid, clean.Makespan)},
+			{"crash-late", fmt.Sprintf("crash(node=2,at=%g)", late)},
+			{"hbloss", fmt.Sprintf("hbloss(node=0,at=%g,for=%g)", mid, clean.Makespan)},
+			{"gpu-retire", fmt.Sprintf("retire(node=2,at=%g)", mid)},
+			{"straggler", fmt.Sprintf("slow(node=1,at=0,for=%g,factor=4)", clean.Makespan*2)},
+			{"taskfail-any", "taskfail(task=0,attempt=0)"},
+			{"taskfail-gpu", "taskfail(task=0,attempt=0,dev=gpu)"},
+			{"gpu-rate", "gpurate=0.3;seed=9"},
+			{"cpu-rate", "cpurate=0.1;seed=3"},
+		}
+		for _, tc := range specs {
+			plan, err := faults.Parse(tc.spec)
+			if err != nil {
+				t.Fatalf("seed %d: plan %s: %v", seed, tc.name, err)
+			}
+			if err := plan.Validate(3); err != nil {
+				t.Fatalf("seed %d: plan %s: %v", seed, tc.name, err)
+			}
+			o := ClusterOpts{Scheduler: mr.GPUFirst, Faults: plan, Seed: seed}
+			stats, out := mustRun(t, &cj, p, o, "faulted run "+tc.name)
+			if out != cleanOut {
+				t.Fatalf("seed %d: fault plan %s (%s) changed the output\nclean:\n%s\nfaulted:\n%s\nmap source:\n%s",
+					seed, tc.name, tc.spec, head(cleanOut), head(out), p.MapSrc)
+			}
+			recoveries[tc.name] += stats.NodesLost + stats.MapsReexecuted +
+				stats.GPUFallbacks + stats.Retries
+		}
+	}
+	// The sweep must have teeth: across all seeds the disruptive plan
+	// shapes must actually have triggered recovery machinery somewhere.
+	for _, name := range []string{"crash-permanent", "crash-restart", "hbloss", "taskfail-any", "taskfail-gpu"} {
+		if recoveries[name] == 0 {
+			t.Errorf("fault plan %s never exercised any recovery path across %d seeds", name, faultSeeds)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package testkit
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/gpurt"
+)
+
+// kernelTime is the simulated time spent in GPU kernels proper — the
+// stages whose work is data-parallel across SMs. IO stages (input read,
+// PCIe copy, output write) are excluded: they do not scale with SM count.
+func kernelTime(s gpurt.StageTimes) float64 {
+	return s.RecordCount + s.Map + s.Aggregate + s.Sort + s.Combine
+}
+
+// TestMoreSMsNeverSlowKernels pins the timing model's basic monotone
+// relation: for a data-parallel kernel over a fixed input, adding SMs
+// never increases the simulated kernel time. The blocks are
+// list-scheduled onto SMs, so makespan is non-increasing in machine
+// count for this workload shape.
+func TestMoreSMsNeverSlowKernels(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		p := Generate(seed)
+		cj, err := Compile(p)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		prev := -1.0
+		prevSMs := 0
+		for _, sms := range []int{2, 4, 8, 16, 32} {
+			cfg := gpu.TeslaK40()
+			cfg.SMs = sms
+			dev, err := gpu.NewDevice(cfg)
+			if err != nil {
+				t.Fatalf("seed %d: device with %d SMs: %v", seed, sms, err)
+			}
+			res, err := gpurt.RunTask(dev, cj.MapC, cj.CombineC, p.Input, gpurt.TaskConfig{
+				NumReducers: p.Reducers,
+				Opts:        gpurt.AllOptimizations(),
+			})
+			if err != nil {
+				t.Fatalf("seed %d: task with %d SMs: %v", seed, sms, err)
+			}
+			kt := kernelTime(res.Times)
+			if kt <= 0 {
+				t.Fatalf("seed %d: %d SMs: no kernel time simulated", seed, sms)
+			}
+			if prev >= 0 && kt > prev {
+				t.Errorf("seed %d: kernel time increased from %g (%d SMs) to %g (%d SMs)",
+					seed, prev, prevSMs, kt, sms)
+			}
+			prev, prevSMs = kt, sms
+		}
+	}
+}
