@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint ci bench fuzz-smoke cover
+.PHONY: all build test race vet fmt lint ci bench bench-baseline bench-check fuzz-smoke cover
 
 all: build
 
@@ -52,7 +52,18 @@ cover:
 	check ./internal/compiler 80; \
 	check ./internal/mr 87
 
-ci: fmt vet build test race lint cover fuzz-smoke
+ci: fmt vet build test race lint cover fuzz-smoke bench-check
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-baseline re-measures the full suite (3 samples each) and rewrites
+# BENCH_baseline.json. Run on a quiet machine; commit the result.
+bench-baseline:
+	$(GO) run ./cmd/hdbench -baseline
+
+# bench-check is the CI regression gate: the cheap -short subset against
+# the committed baseline, with a wide (100%) allowance on top of the noise
+# bands since CI machines differ from the baseline host.
+bench-check:
+	$(GO) run ./cmd/hdbench -check -short -threshold 1.0 -allow-env-mismatch

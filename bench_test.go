@@ -5,267 +5,57 @@
 //	go test -bench=. -benchmem
 //
 // reproduces the full evaluation at a reduced (but shape-preserving)
-// scale. cmd/hdbench runs the same harnesses at configurable scale.
+// scale. The bodies live in internal/perf/benchsuite so cmd/hdbench's
+// baseline/regression pipeline measures the exact same code; these
+// wrappers keep the `go test -bench` names stable.
 package repro_test
 
 import (
 	"testing"
 
-	"repro/internal/experiments"
-	"repro/internal/gpu"
-	"repro/internal/gpurt"
-	"repro/internal/mr"
-	"repro/internal/obs"
-	"repro/internal/workload"
+	"repro/internal/perf/benchsuite"
 )
 
-// benchCfg keeps `go test -bench=.` affordable; cmd/hdbench defaults are
-// larger.
-var benchCfg = experiments.Config{SplitBytes: 8 << 10, Variants: 1, TaskScale: 0.25, Seed: 7}
-
-func BenchmarkTable2(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows := experiments.Table2()
-		if len(rows) != 8 {
-			b.Fatalf("rows = %d", len(rows))
-		}
-	}
-}
-
-func BenchmarkTable3(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows := experiments.Table3()
-		if len(rows) == 0 {
-			b.Fatal("no rows")
-		}
-	}
-}
-
-func BenchmarkFig3TailScheduling(b *testing.B) {
-	var r experiments.Fig3Result
-	var err error
-	var rec *obs.Recorder
-	for i := 0; i < b.N; i++ {
-		rec = obs.NewRecorder()
-		r, err = experiments.Fig3(experiments.Config{Obs: rec})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(r.Improvement(), "tail-gain-x")
-	// Headline counters flow out through the metrics registry.
-	if forced, ok := rec.Metrics().Value("mr_forced_gpu_total", obs.L("sched", "tail")); ok {
-		b.ReportMetric(forced, "forced-gpu-tasks")
-	}
-	if wait, ok := rec.Metrics().Value("mr_gpu_queue_wait_seconds_total", obs.L("sched", "tail")); ok {
-		b.ReportMetric(wait, "gpu-queue-wait-s")
-	}
-}
-
-func BenchmarkFig4aCluster1(b *testing.B) {
-	var rows []experiments.Fig4Row
-	var err error
-	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Fig4a(benchCfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	var tails []float64
-	var best float64
-	for _, r := range rows {
-		v := r.Speedups["1GPU+tail"]
-		tails = append(tails, v)
-		if v > best {
-			best = v
-		}
-	}
-	b.ReportMetric(experiments.GeoMean(tails), "geomean-speedup-x")
-	b.ReportMetric(best, "max-speedup-x")
-}
-
-func BenchmarkFig4bCluster2(b *testing.B) {
-	var rows []experiments.Fig4Row
-	var err error
-	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Fig4b(benchCfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	var best float64
-	for _, r := range rows {
-		if v := r.Speedups["3GPU+tail"]; v > best {
-			best = v
-		}
-	}
-	b.ReportMetric(best, "max-3gpu-speedup-x")
-}
-
-func BenchmarkFig5TaskSpeedups(b *testing.B) {
-	var rows []experiments.Fig5Row
-	var err error
-	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Fig5(benchCfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(rows[len(rows)-1].OptSpeedup, "max-task-speedup-x")
-	b.ReportMetric(rows[0].OptSpeedup, "min-task-speedup-x")
-}
-
-func BenchmarkFig6Breakdown(b *testing.B) {
-	var rows []experiments.Fig6Row
-	var err error
-	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Fig6(benchCfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	for _, r := range rows {
-		if r.Code == "BS" {
-			b.ReportMetric(100*r.Fractions["output write"], "bs-outputwrite-pct")
-		}
-	}
-}
-
-func benchFig7(b *testing.B, fn func(experiments.Config) ([]experiments.Fig7Row, error)) {
-	var rows []experiments.Fig7Row
-	var err error
-	for i := 0; i < b.N; i++ {
-		rows, err = fn(benchCfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	best := 0.0
-	for _, r := range rows {
-		if r.Speedup > best {
-			best = r.Speedup
-		}
-	}
-	b.ReportMetric(best, "max-kernel-speedup-x")
-}
-
-func BenchmarkFig7aTexture(b *testing.B)        { benchFig7(b, experiments.Fig7Texture) }
-func BenchmarkFig7bVectorCombine(b *testing.B)  { benchFig7(b, experiments.Fig7VectorCombine) }
-func BenchmarkFig7cVectorMap(b *testing.B)      { benchFig7(b, experiments.Fig7VectorMap) }
-func BenchmarkFig7dRecordStealing(b *testing.B) { benchFig7(b, experiments.Fig7RecordStealing) }
-func BenchmarkFig7eAggregation(b *testing.B)    { benchFig7(b, experiments.Fig7Aggregation) }
-
-// BenchmarkSchedulerAblation compares the three schedulers head-to-head on
-// one synthetic workload (the DESIGN.md scheduler ablation).
-func BenchmarkSchedulerAblation(b *testing.B) {
-	rec := obs.NewRecorder()
-	run := func(s mr.SchedulerKind, gpus int) float64 {
-		stats, err := mr.RunJob(mr.ClusterConfig{
-			Slaves: 8, Node: mr.NodeConfig{MapSlots: 4, ReduceSlots: 2, GPUs: gpus},
-			Scheduler: s, HeartbeatSec: 0.5, Obs: rec,
-		}, &mr.SampledExecutor{
-			Splits: 640, Reducers: 16, Slaves: 8,
-			CPUDur: []float64{20}, GPUDur: []float64{2},
-			MapOutputBytes: 1 << 20, ReduceCompute: 5, ShuffleGBs: 4, Jitter: 0.3,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		return stats.Makespan
-	}
-	var cpu, gf, tail float64
-	for i := 0; i < b.N; i++ {
-		cpu = run(mr.CPUOnly, 0)
-		gf = run(mr.GPUFirst, 1)
-		tail = run(mr.TailSched, 1)
-	}
-	b.ReportMetric(cpu/gf, "gpufirst-speedup-x")
-	b.ReportMetric(cpu/tail, "tail-speedup-x")
-	if hb, ok := rec.Metrics().Value("mr_heartbeats_total", obs.L("sched", "tail")); ok {
-		b.ReportMetric(hb/float64(b.N), "tail-heartbeats/op")
-	}
-}
-
-// BenchmarkStealingGranularity compares the three record-distribution
-// strategies of DESIGN.md's ablation list: static partitioning, the
-// paper's per-threadblock stealing, and device-wide global-atomic
-// stealing (the alternative the paper rejects in §4.1).
-func BenchmarkStealingGranularity(b *testing.B) {
-	km := workload.Kmeans()
-	input := km.Gen(3, 64<<10)
-	job, err := mr.CompileJob(km.JobFor(1))
-	if err != nil {
-		b.Fatal(err)
-	}
-	dev, err := gpu.NewDevice(gpu.TeslaK40())
-	if err != nil {
-		b.Fatal(err)
-	}
-	measure := func(steal, global bool) float64 {
-		opts := gpurt.AllOptimizations()
-		opts.RecordStealing = steal
-		opts.GlobalStealing = global
-		res, err := gpurt.RunTask(dev, job.MapC, nil, input, gpurt.TaskConfig{
-			NumReducers: 4, Opts: opts,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		return res.Times.Map
-	}
-	var static, block, global float64
-	for i := 0; i < b.N; i++ {
-		static = measure(false, false)
-		block = measure(true, false)
-		global = measure(true, true)
-	}
-	b.ReportMetric(static/block, "block-vs-static-x")
-	b.ReportMetric(global/block, "block-vs-global-x")
-}
-
-// BenchmarkSpeculativeExecution measures the extension's effect on a
-// cluster with one straggler node (inter-node heterogeneity).
+func BenchmarkTable2(b *testing.B)              { benchsuite.Table2(b) }
+func BenchmarkTable3(b *testing.B)              { benchsuite.Table3(b) }
+func BenchmarkFig3TailScheduling(b *testing.B)  { benchsuite.Fig3TailScheduling(b) }
+func BenchmarkFig4aCluster1(b *testing.B)       { benchsuite.Fig4aCluster1(b) }
+func BenchmarkFig4bCluster2(b *testing.B)       { benchsuite.Fig4bCluster2(b) }
+func BenchmarkFig5TaskSpeedups(b *testing.B)    { benchsuite.Fig5TaskSpeedups(b) }
+func BenchmarkFig6Breakdown(b *testing.B)       { benchsuite.Fig6Breakdown(b) }
+func BenchmarkFig7aTexture(b *testing.B)        { benchsuite.Fig7aTexture(b) }
+func BenchmarkFig7bVectorCombine(b *testing.B)  { benchsuite.Fig7bVectorCombine(b) }
+func BenchmarkFig7cVectorMap(b *testing.B)      { benchsuite.Fig7cVectorMap(b) }
+func BenchmarkFig7dRecordStealing(b *testing.B) { benchsuite.Fig7dRecordStealing(b) }
+func BenchmarkFig7eAggregation(b *testing.B)    { benchsuite.Fig7eAggregation(b) }
+func BenchmarkSchedulerAblation(b *testing.B)   { benchsuite.SchedulerAblation(b) }
+func BenchmarkStealingGranularity(b *testing.B) { benchsuite.StealingGranularity(b) }
 func BenchmarkSpeculativeExecution(b *testing.B) {
-	makeExec := func() *mr.SampledExecutor {
-		return &mr.SampledExecutor{
-			Splits: 160, Reducers: 0, Slaves: 4,
-			CPUDur: []float64{10}, GPUDur: []float64{2},
-			NodeSpeed: []float64{4, 1, 1, 1}, Jitter: 0.2,
-		}
-	}
-	run := func(spec bool) float64 {
-		stats, err := mr.RunJob(mr.ClusterConfig{
-			Slaves: 4, Node: mr.NodeConfig{MapSlots: 4, ReduceSlots: 1},
-			Scheduler: mr.CPUOnly, HeartbeatSec: 0.5,
-			SpeculativeExecution: spec, Seed: 3,
-		}, makeExec())
-		if err != nil {
-			b.Fatal(err)
-		}
-		return stats.Makespan
-	}
-	var off, on float64
-	for i := 0; i < b.N; i++ {
-		off = run(false)
-		on = run(true)
-	}
-	b.ReportMetric(off/on, "speculation-gain-x")
+	benchsuite.SpeculativeExecution(b)
 }
+func BenchmarkMapTaskGPU(b *testing.B) { benchsuite.MapTaskGPU(b) }
 
-// BenchmarkMapTaskGPU measures the wall cost of one functional GPU task
-// (translator + SIMT interpreter + runtime), the building block every
-// experiment samples.
-func BenchmarkMapTaskGPU(b *testing.B) {
-	wc := workload.Wordcount()
-	input := wc.Gen(5, 8<<10)
-	cfg := benchCfg
-	cfg.Variants = 1
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig6(experiments.Config{SplitBytes: len(input), Variants: 1, Seed: 5, TaskScale: 0.01})
-		if err != nil {
-			b.Fatal(err)
+// TestBenchSuiteNamesMatch pins the wrapper names above to the registry the
+// baseline pipeline measures — a drifted name would silently decouple
+// `go test -bench` from `hdbench -baseline`.
+func TestBenchSuiteNamesMatch(t *testing.T) {
+	want := map[string]bool{
+		"BenchmarkTable2": true, "BenchmarkTable3": true,
+		"BenchmarkFig3TailScheduling": true, "BenchmarkFig4aCluster1": true,
+		"BenchmarkFig4bCluster2": true, "BenchmarkFig5TaskSpeedups": true,
+		"BenchmarkFig6Breakdown": true, "BenchmarkFig7aTexture": true,
+		"BenchmarkFig7bVectorCombine": true, "BenchmarkFig7cVectorMap": true,
+		"BenchmarkFig7dRecordStealing": true, "BenchmarkFig7eAggregation": true,
+		"BenchmarkSchedulerAblation": true, "BenchmarkStealingGranularity": true,
+		"BenchmarkSpeculativeExecution": true, "BenchmarkMapTaskGPU": true,
+	}
+	got := benchsuite.All()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d benchmarks, wrappers cover %d", len(got), len(want))
+	}
+	for _, b := range got {
+		if !want[b.Name] {
+			t.Errorf("suite benchmark %s has no go-test wrapper", b.Name)
 		}
-		_ = rows
 	}
 }

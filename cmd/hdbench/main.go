@@ -1,22 +1,31 @@
 // Command hdbench regenerates the paper's evaluation tables and figures
-// (Table 2, Table 3, Figures 3-7) from the simulated system.
+// (Table 2, Table 3, Figures 3-7) from the simulated system, and doubles
+// as the performance-tracking harness: it measures the benchmark suite
+// into a schema-versioned baseline file and gates regressions against it.
 //
 // Usage:
 //
 //	hdbench -exp all
 //	hdbench -exp fig4a -split-kb 32 -variants 3 -task-scale 1
-//	hdbench -exp fig7e
+//	hdbench -exp fig6 -hdprof -prof-top 20
+//	hdbench -baseline                      (write BENCH_baseline.json)
+//	hdbench -check                         (compare, exit 1 on regression)
+//	hdbench -check -short -threshold 1.0   (cheap CI gate)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/perf"
+	"repro/internal/perf/benchsuite"
 )
 
 func main() {
@@ -28,11 +37,50 @@ func main() {
 	seed := flag.Uint64("seed", 0, "input seed (0 = default)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the simulated jobs to this file")
 	metricsPath := flag.String("metrics", "", "write a Prometheus-style metrics dump to this file")
+
+	baseline := flag.Bool("baseline", false, "measure the benchmark suite and write -baseline-file")
+	checkMode := flag.Bool("check", false, "measure the suite and compare against -baseline-file; exit 1 on regression")
+	baselineFile := flag.String("baseline-file", "BENCH_baseline.json", "baseline file for -baseline / -check")
+	repeat := flag.Int("repeat", 3, "samples per benchmark in -baseline / -check mode")
+	short := flag.Bool("short", false, "restrict -baseline / -check to the cheap Short subset")
+	filter := flag.String("filter", "", "substring filter on benchmark names in -baseline / -check mode")
+	threshold := flag.Float64("threshold", 0, "ns/op regression allowance as a fraction, before noise bands (0 = default 0.25)")
+	allowEnvMismatch := flag.Bool("allow-env-mismatch", false, "compare across differing Go version / CPU count with a warning instead of an error")
+
+	hdprof := flag.Bool("hdprof", false, "attach the wall-clock cost profiler to the experiment run and print the hot-path report")
+	profTop := flag.Int("prof-top", 15, "rows in the -hdprof hot-path table")
+	profFolded := flag.String("prof-folded", "", "write -hdprof folded-stack flamegraph lines to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file")
 	flag.Parse()
+
+	stopProfiles, err := startPprof(*cpuProfile, *mutexProfile)
+	check(err)
+
+	if *baseline || *checkMode {
+		code := runBaseline(baselineOpts{
+			write:            *baseline,
+			compare:          *checkMode,
+			file:             *baselineFile,
+			repeat:           *repeat,
+			short:            *short,
+			filter:           *filter,
+			threshold:        *threshold,
+			allowEnvMismatch: *allowEnvMismatch,
+		})
+		check(stopProfiles())
+		check(writeHeapProfile(*memProfile))
+		os.Exit(code)
+	}
 
 	var rec *obs.Recorder
 	if *tracePath != "" || *metricsPath != "" {
 		rec = obs.NewRecorder()
+	}
+	var prof *perf.Profiler
+	if *hdprof || *profFolded != "" {
+		prof = perf.New()
 	}
 	cfg := experiments.Config{
 		SplitBytes: *splitKB << 10,
@@ -40,6 +88,7 @@ func main() {
 		TaskScale:  *taskScale,
 		Seed:       *seed,
 		Obs:        rec,
+		Prof:       prof,
 	}
 
 	wants := strings.Split(strings.ToLower(*exp), ",")
@@ -144,7 +193,165 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hdbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	if prof != nil {
+		snap := prof.Snapshot()
+		if *hdprof {
+			fmt.Println()
+			snap.WriteTable(os.Stdout, *profTop)
+		}
+		check(writeFolded(snap, *profFolded))
+		if rec != nil {
+			rec.Metrics().RecordCostProfile(snap)
+		}
+	}
 	check(writeObs(rec, *tracePath, *metricsPath))
+	check(stopProfiles())
+	check(writeHeapProfile(*memProfile))
+}
+
+// baselineOpts parameterizes one -baseline / -check invocation.
+type baselineOpts struct {
+	write, compare   bool
+	file             string
+	repeat           int
+	short            bool
+	filter           string
+	threshold        float64
+	allowEnvMismatch bool
+}
+
+// runBaseline measures the suite once, optionally compares against the
+// stored baseline, and optionally re-writes it. With both -baseline and
+// -check the comparison gates the write: a regressed run leaves the old
+// baseline in place. Returns the process exit code.
+func runBaseline(o baselineOpts) int {
+	benches := benchsuite.Select(o.short, o.filter)
+	if len(benches) == 0 {
+		fmt.Fprintf(os.Stderr, "hdbench: no benchmarks match -short=%v -filter=%q\n", o.short, o.filter)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "hdbench: measuring %d benchmarks x %d samples\n", len(benches), o.repeat)
+	cur := benchsuite.Measure(benches, o.repeat, o.short, nil, os.Stderr)
+
+	if o.compare {
+		f, err := os.Open(o.file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: -check: %v (run -baseline first)\n", err)
+			return 1
+		}
+		base, err := perf.DecodeBaseline(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: -check: %s: %v\n", o.file, err)
+			return 1
+		}
+		th := perf.DefaultThresholds()
+		if o.threshold > 0 {
+			th.TimeFrac = o.threshold
+		}
+		th.AllowEnvMismatch = o.allowEnvMismatch
+		rep, err := perf.Compare(base, cur, th)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: -check: %v\n", err)
+			return 1
+		}
+		rep.Write(os.Stdout)
+		if !rep.OK() {
+			return 1
+		}
+	}
+	if o.write {
+		f, err := os.Create(o.file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: -baseline: %v\n", err)
+			return 1
+		}
+		if err := cur.Encode(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "hdbench: -baseline: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: -baseline: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s (%d benchmarks, %d samples each)\n", o.file, len(cur.Benchmarks), cur.Repeat)
+	}
+	return 0
+}
+
+// startPprof begins the requested Go runtime profiles and returns a stop
+// function that finishes them.
+func startPprof(cpuPath, mutexPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	if mutexPath != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if mutexPath != "" {
+			f, err := os.Create(mutexPath)
+			if err != nil {
+				return err
+			}
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}
+
+// writeHeapProfile dumps the heap profile after a final GC, the standard
+// -memprofile semantics.
+func writeHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeFolded dumps the flamegraph-ready folded stacks.
+func writeFolded(snap perf.Snapshot, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteFolded(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeObs dumps the recorder's trace and metrics to the requested files.

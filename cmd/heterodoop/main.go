@@ -22,6 +22,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mr"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/workload"
 )
 
@@ -39,6 +40,9 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
 	metricsPath := flag.String("metrics", "", "write a Prometheus-style metrics dump to this file")
+	hdprof := flag.Bool("hdprof", false, "profile the run's wall-clock cost and print the hot-path report")
+	profTop := flag.Int("prof-top", 15, "rows in the -hdprof hot-path table")
+	profFolded := flag.String("prof-folded", "", "write -hdprof folded-stack flamegraph lines to this file")
 	flag.Parse()
 
 	if *list {
@@ -68,11 +72,15 @@ func main() {
 		fatal(fmt.Errorf("unknown scheduler %q", *sched))
 	}
 
+	var prof *perf.Profiler
+	if *hdprof || *profFolded != "" {
+		prof = perf.New()
+	}
 	prog := b.JobFor(1)
-	job, err := core.CompileJob(core.JobSources{
+	job, err := core.CompileJobProfiled(core.JobSources{
 		Name: prog.Name, Map: prog.MapSrc, Combine: prog.CombineSrc,
 		Reduce: prog.ReduceSrc, Reducers: prog.NumReducers,
-	})
+	}, prof)
 	if err != nil {
 		fatal(err)
 	}
@@ -100,6 +108,7 @@ func main() {
 	res, err := core.Run(job, input, core.RunOptions{
 		Setup: &setup, Scheduler: scheduler, GPUs: *gpus,
 		GPUFailureRate: *failRate, Faults: plan, Seed: *seed, Obs: rec,
+		Profile: prof,
 	})
 	if err != nil {
 		fatal(err)
@@ -140,6 +149,29 @@ func main() {
 			break
 		}
 		fmt.Printf("  %s\n", line)
+	}
+	if prof != nil {
+		snap := prof.Snapshot()
+		if *hdprof {
+			fmt.Println()
+			snap.WriteTable(os.Stdout, *profTop)
+		}
+		if *profFolded != "" {
+			f, err := os.Create(*profFolded)
+			if err != nil {
+				fatal(err)
+			}
+			if err := snap.WriteFolded(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if rec != nil {
+			rec.Metrics().RecordCostProfile(snap)
+		}
 	}
 	if err := writeObs(rec, *tracePath, *metricsPath); err != nil {
 		fatal(err)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/kv"
 	"repro/internal/minic"
+	"repro/internal/perf"
 )
 
 // VarClass is the GPU placement of a variable used inside a kernel region,
@@ -124,6 +125,9 @@ type Options struct {
 	Analyze bool
 	// File names the source in error messages and diagnostics.
 	File string
+	// Prof, when non-nil, charges the host parse and the GPU translation
+	// to wall-clock phase buckets.
+	Prof *perf.Profiler
 }
 
 // Compile translates a directive-annotated MiniC source. It returns an
@@ -133,15 +137,20 @@ func Compile(src string) (*Compiled, error) { return CompileOpts(src, Options{})
 
 // CompileOpts is Compile with options.
 func CompileOpts(src string, opts Options) (*Compiled, error) {
+	endHost := opts.Prof.Phase(perf.PhaseHostCompile)
 	host, err := minic.ParseAndCheckFile(opts.File, src)
+	endHost()
 	if err != nil {
 		return nil, err
 	}
+	endXlate := opts.Prof.Phase(perf.PhaseGPUTranslate)
 	spec, schema, err := translateSource(opts.File, src)
 	if err != nil {
+		endXlate()
 		return nil, err
 	}
 	cuda := EmitCUDA(spec, schema)
+	endXlate()
 	c := &Compiled{
 		Source:   src,
 		HostProg: host,

@@ -27,6 +27,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/mr"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/streaming"
 )
 
@@ -51,14 +52,18 @@ type Job struct {
 }
 
 // CompileJob runs the HeteroDoop translator over the sources.
-func CompileJob(src JobSources) (*Job, error) {
-	cj, err := mr.CompileJob(mr.JobProgram{
+func CompileJob(src JobSources) (*Job, error) { return CompileJobProfiled(src, nil) }
+
+// CompileJobProfiled is CompileJob with the host-compile and GPU-translate
+// phases charged to an optional wall-clock profiler.
+func CompileJobProfiled(src JobSources, prof *perf.Profiler) (*Job, error) {
+	cj, err := mr.CompileJobProf(mr.JobProgram{
 		Name:        src.Name,
 		MapSrc:      src.Map,
 		CombineSrc:  src.Combine,
 		ReduceSrc:   src.Reduce,
 		NumReducers: src.Reducers,
-	})
+	}, prof)
 	if err != nil {
 		return nil, err
 	}
@@ -110,6 +115,9 @@ type RunOptions struct {
 	Seed uint64
 	// Obs, when non-nil, records the run's trace spans and metrics.
 	Obs *obs.Recorder
+	// Profile, when non-nil, receives the run's wall-clock cost profile:
+	// engine phases plus per-AST-node and per-builtin interpreter buckets.
+	Profile *perf.Profiler
 }
 
 // Result is a finished job.
@@ -167,6 +175,7 @@ func Run(job *Job, input []byte, opts RunOptions) (*Result, error) {
 		Opts:         optz,
 		DiskWriteGBs: setup.DiskWriteGBs,
 		HDFSWriteGBs: setup.HDFSWriteGBs,
+		Prof:         opts.Profile,
 	})
 	if err != nil {
 		return nil, err

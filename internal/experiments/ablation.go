@@ -54,7 +54,7 @@ func Ablations(cfg Config) (*AblationResult, error) {
 	}
 	km := workload.Kmeans()
 	input := km.Gen(cfg.Seed, inputBytes)
-	job, err := mr.CompileJob(km.JobFor(1))
+	job, err := mr.CompileJobProf(km.JobFor(1), cfg.Prof)
 	if err != nil {
 		return nil, err
 	}
@@ -66,6 +66,7 @@ func Ablations(cfg Config) (*AblationResult, error) {
 		opts := gpurt.AllOptimizations()
 		opts.RecordStealing = steal
 		opts.GlobalStealing = global
+		opts.Prof = cfg.Prof
 		tr, err := gpurt.RunTask(dev, job.MapC, nil, input, gpurt.TaskConfig{NumReducers: 4, Opts: opts})
 		if err != nil {
 			return 0, err

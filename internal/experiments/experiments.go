@@ -20,6 +20,7 @@ import (
 	"repro/internal/gpurt"
 	"repro/internal/mr"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/streaming"
 	"repro/internal/workload"
 )
@@ -39,6 +40,9 @@ type Config struct {
 	TaskScale float64
 	// Obs, when non-nil, records every experiment job's spans and metrics.
 	Obs *obs.Recorder
+	// Prof, when non-nil, receives wall-clock phase and interpreter
+	// hot-path buckets from every functionally sampled task.
+	Prof *perf.Profiler
 }
 
 func (c *Config) fillDefaults() {
@@ -115,7 +119,7 @@ func sampleBenchmark(b *workload.Benchmark, setup cluster.Setup, clusterIdx int,
 
 	cfg.fillDefaults()
 	job := b.JobFor(clusterIdx)
-	cj, err := mr.CompileJob(job)
+	cj, err := mr.CompileJobProf(job, cfg.Prof)
 	if err != nil {
 		return nil, err
 	}
@@ -136,13 +140,18 @@ func sampleBenchmark(b *workload.Benchmark, setup cluster.Setup, clusterIdx int,
 			InputReadTime: readTime,
 			DiskWriteGBs:  setup.DiskWriteGBs,
 			HDFSWriteGBs:  setup.HDFSWriteGBs,
+			Prof:          cfg.Prof,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s cpu sample: %w", b.Code, err)
 		}
+		gpuOpts := opts
+		if gpuOpts.Prof == nil {
+			gpuOpts.Prof = cfg.Prof
+		}
 		gpuRes, err := gpurt.RunTask(dev, cj.MapC, cj.CombineC, input, gpurt.TaskConfig{
 			NumReducers:   job.NumReducers,
-			Opts:          opts,
+			Opts:          gpuOpts,
 			InputReadTime: readTime,
 			DiskWriteGBs:  setup.DiskWriteGBs,
 			HDFSWriteGBs:  setup.HDFSWriteGBs,

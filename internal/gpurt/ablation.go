@@ -7,6 +7,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/interp"
 	"repro/internal/minic"
+	"repro/internal/perf"
 )
 
 // execMapKernelGlobalSteal is the stealing-granularity ablation: all
@@ -25,6 +26,10 @@ func execMapKernelGlobalSteal(dev *gpu.Device, comp *compiler.Compiled, cap *hos
 	if totalLanes > len(records) {
 		totalLanes = len(records)
 	}
+	// The ablation executes every lane on the calling goroutine, so one
+	// collector serves the whole launch.
+	col := opts.Prof.Collector(perf.PhaseGPUMap)
+	defer col.Flush()
 	threads := make([]*mapThread, 0, totalLanes)
 	for lane := 0; lane < totalLanes; lane++ {
 		t := &mapThread{id: lane, pending: -1, cost: gpu.NewThreadCost(&dev.Config)}
@@ -36,6 +41,7 @@ func execMapKernelGlobalSteal(dev *gpu.Device, comp *compiler.Compiled, cap *hos
 			Cost:         t.cost,
 			DefaultSpace: interp.SpaceLocal,
 			SpaceFor:     threadSpaceFor,
+			Prof:         col,
 			Intrinsics:   mapIntrinsics(t, ipObj, records, store, comp.Schema, opts),
 		})
 		t.frame = t.machine.NewFrame()

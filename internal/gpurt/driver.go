@@ -8,6 +8,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/kv"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/seqfile"
 )
 
@@ -158,11 +159,18 @@ func RunTask(dev *gpu.Device, mapC, combineC *compiler.Compiled, input []byte, c
 	}
 
 	// 4. Run the host program to its launch point, then the map kernel.
-	cap, err := captureHost(mapC, io.Discard)
+	prof := cfg.Opts.Prof
+	endHost := prof.Phase(perf.PhaseGPUHost)
+	hcol := prof.Collector(perf.PhaseGPUHost)
+	cap, err := captureHostCol(mapC, io.Discard, hcol)
+	hcol.Flush()
+	endHost()
 	if err != nil {
 		return nil, err
 	}
+	endMap := prof.Phase(perf.PhaseGPUMap)
 	mres, err := ExecMapKernel(dev, mapC, cap, input, records, store, cfg.Opts)
+	endMap()
 	if err != nil {
 		return nil, &AbortError{Kernel: "map", Cause: err}
 	}
@@ -182,17 +190,20 @@ func RunTask(dev *gpu.Device, mapC, combineC *compiler.Compiled, input []byte, c
 
 	// Map-only job: write output straight to HDFS.
 	if cfg.NumReducers <= 0 {
+		endOut := prof.Phase(perf.PhaseGPUOutput)
 		for _, slots := range store.Aggregate() {
 			for _, s := range slots {
 				res.MapOutput = append(res.MapOutput, store.SlotPair(int(s)))
 			}
 		}
 		res.OutputBytes = textBytes(res.MapOutput)
+		endOut()
 		res.Times.OutputWrite = writeTime(res.OutputBytes, cfg.ChecksumGBs, cfg.HDFSWriteGBs)
 		return res, nil
 	}
 
 	// 5. Aggregate: compact whitespace out of the indirection array.
+	endSortPhase := prof.Phase(perf.PhaseGPUSort)
 	partitions := store.Aggregate()
 	sortSizes := make([]int, len(partitions))
 	for p := range partitions {
@@ -226,13 +237,20 @@ func RunTask(dev *gpu.Device, mapC, combineC *compiler.Compiled, input []byte, c
 		store.SortPartition(slots)
 		res.Times.Sort += dev.SortTime(sortSizes[p], keyBytes, cfg.Opts.VectorMap)
 	}
+	endSortPhase()
 	res.Profiles = append(res.Profiles, obs.KernelProfile{Kernel: "sort", Seconds: res.Times.Sort})
 	if combineC != nil {
-		ccap, err := captureHost(combineC, io.Discard)
+		endCHost := prof.Phase(perf.PhaseGPUHost)
+		ccol := prof.Collector(perf.PhaseGPUHost)
+		ccap, err := captureHostCol(combineC, io.Discard, ccol)
+		ccol.Flush()
+		endCHost()
 		if err != nil {
 			return nil, err
 		}
+		endCombine := prof.Phase(perf.PhaseGPUCombine)
 		cres, err := ExecCombineKernels(dev, combineC, ccap, store, partitions, cfg.Opts)
+		endCombine()
 		if err != nil {
 			return nil, &AbortError{Kernel: "combine", Cause: err}
 		}
@@ -259,7 +277,9 @@ func RunTask(dev *gpu.Device, mapC, combineC *compiler.Compiled, input []byte, c
 	// format (the seqfile container: length-prefixed records with CRC32
 	// checksums). The serialization really runs — the byte count and
 	// checksum work in the timing model are those of the actual container.
+	endOut := prof.Phase(perf.PhaseGPUOutput)
 	outBytes, err := serializeOutput(res.Partitions, combineSchema(mapC, combineC))
+	endOut()
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/kv"
 	"repro/internal/minic"
+	"repro/internal/perf"
 )
 
 // Options toggles the compiler/runtime optimizations evaluated in the
@@ -35,6 +36,11 @@ type Options struct {
 	GlobalStealing bool
 	// Aggregation compacts KV-store whitespace before sorting (Fig. 7e).
 	Aggregation bool
+	// Prof is not an optimization: it is the wall-clock profiler the
+	// runtime charges its phases and per-thread interpreter buckets to.
+	// Nil (the zero value) disables profiling. It rides in Options so the
+	// kernel executors' signatures stay put.
+	Prof *perf.Profiler
 }
 
 // AllOptimizations returns the fully optimized configuration.
@@ -59,9 +65,16 @@ type hostCapture struct {
 // captureHost runs the translated program's main, intercepting the
 // mapreduce region, and returns the captured launch-point state.
 func captureHost(comp *compiler.Compiled, stdout io.Writer) (*hostCapture, error) {
+	return captureHostCol(comp, stdout, nil)
+}
+
+// captureHostCol is captureHost with an optional profiling collector for
+// the host program's interpretation.
+func captureHostCol(comp *compiler.Compiled, stdout io.Writer, col *perf.Collector) (*hostCapture, error) {
 	cap := &hostCapture{}
 	m := interp.New(comp.Kernel.Prog, interp.Options{
 		Stdout: stdout,
+		Prof:   col,
 		OnPragma: func(p *minic.PragmaStmt, fr *interp.Frame) (bool, error) {
 			cap.frame = fr
 			cap.pragma = p
@@ -287,6 +300,10 @@ func runMapBlock(dev *gpu.Device, comp *compiler.Compiled, cap *hostCapture,
 	block, tpb, kvBound int, loop *minic.While) (float64, gpu.CycleBreakdown, int64, error) {
 
 	spec := comp.Kernel
+	// One collector per block: this function runs on its own goroutine, and
+	// all the block's thread machines share it (they execute sequentially).
+	col := opts.Prof.Collector(perf.PhaseGPUMap)
+	defer col.Flush()
 	threads := make([]*mapThread, 0, tpb)
 	newThread := func(lane int) (*mapThread, error) {
 		t := &mapThread{id: block*tpb + lane, pending: -1, cost: gpu.NewThreadCost(&dev.Config)}
@@ -298,6 +315,7 @@ func runMapBlock(dev *gpu.Device, comp *compiler.Compiled, cap *hostCapture,
 			Cost:         t.cost,
 			DefaultSpace: interp.SpaceLocal,
 			SpaceFor:     threadSpaceFor,
+			Prof:         col,
 			Intrinsics:   mapIntrinsics(t, ipObj, records, store, comp.Schema, opts),
 		})
 		t.frame = t.machine.NewFrame()

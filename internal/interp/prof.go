@@ -1,0 +1,106 @@
+package interp
+
+import (
+	"repro/internal/minic"
+	"repro/internal/perf"
+)
+
+// execStmtProfiled wraps one statement's execution in an exclusive-time
+// span. It re-enters execStmt's dispatch body through the profSkip latch:
+// the latch makes the next execStmt call fall through to the body instead
+// of recursing back here, while every *nested* statement and expression
+// (latch consumed) takes its own wrapped trip. Only the profiling-on path
+// pays these two extra calls per node; see execStmt for why.
+func (m *Machine) execStmtProfiled(f *frame, s minic.Stmt) (ctrl, error) {
+	m.prof.Enter(perf.CatStmt, stmtName(s))
+	m.profSkip = true
+	c, err := m.execStmt(f, s)
+	m.prof.Exit()
+	return c, err
+}
+
+// evalProfiled is execStmtProfiled for expressions.
+func (m *Machine) evalProfiled(f *frame, e minic.Expr) (Value, error) {
+	m.prof.Enter(perf.CatExpr, exprName(e))
+	m.profSkip = true
+	v, err := m.eval(f, e)
+	m.prof.Exit()
+	return v, err
+}
+
+// callBuiltinProfiled invokes a builtin/intrinsic implementation,
+// attributing its self time to a per-name bucket. Callers guard with
+// m.prof != nil and call impl directly otherwise.
+func (m *Machine) callBuiltinProfiled(name string, impl Builtin, args []Value) (Value, error) {
+	m.prof.Enter(perf.CatBuiltin, name)
+	v, err := impl(m, args)
+	m.prof.Exit()
+	return v, err
+}
+
+// stmtName and exprName return constant bucket names per AST node kind.
+// They allocate nothing; the returned strings are interned literals.
+
+func stmtName(s minic.Stmt) string {
+	switch s.(type) {
+	case *minic.DeclStmt:
+		return "Decl"
+	case *minic.ExprStmt:
+		return "ExprStmt"
+	case *minic.EmptyStmt:
+		return "Empty"
+	case *minic.Block:
+		return "Block"
+	case *minic.If:
+		return "If"
+	case *minic.While:
+		return "While"
+	case *minic.For:
+		return "For"
+	case *minic.Return:
+		return "Return"
+	case *minic.Break:
+		return "Break"
+	case *minic.Continue:
+		return "Continue"
+	case *minic.PragmaStmt:
+		return "Pragma"
+	default:
+		return "Stmt?"
+	}
+}
+
+func exprName(e minic.Expr) string {
+	switch e.(type) {
+	case *minic.IntLit:
+		return "IntLit"
+	case *minic.FloatLit:
+		return "FloatLit"
+	case *minic.CharLit:
+		return "CharLit"
+	case *minic.StrLit:
+		return "StrLit"
+	case *minic.Ident:
+		return "Ident"
+	case *minic.Unary:
+		return "Unary"
+	case *minic.Postfix:
+		return "Postfix"
+	case *minic.Binary:
+		return "Binary"
+	case *minic.Assign:
+		return "Assign"
+	case *minic.Cond:
+		return "Cond"
+	case *minic.Index:
+		return "Index"
+	case *minic.Cast:
+		return "Cast"
+	case *minic.SizeofType:
+		return "Sizeof"
+	case *minic.Call:
+		return "Call"
+	default:
+		return "Expr?"
+	}
+}

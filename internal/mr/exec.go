@@ -8,6 +8,7 @@ import (
 	"repro/internal/gpurt"
 	"repro/internal/hdfs"
 	"repro/internal/kv"
+	"repro/internal/perf"
 	"repro/internal/streaming"
 )
 
@@ -37,8 +38,12 @@ type CompiledJob struct {
 // CompileJob runs the HeteroDoop translator over a job's sources, yielding
 // both CPU (Hadoop Streaming) and GPU executables — the single-source
 // property of the paper.
-func CompileJob(p JobProgram) (*CompiledJob, error) {
-	mapC, err := compiler.Compile(p.MapSrc)
+func CompileJob(p JobProgram) (*CompiledJob, error) { return CompileJobProf(p, nil) }
+
+// CompileJobProf is CompileJob with the translation phases charged to an
+// optional wall-clock profiler.
+func CompileJobProf(p JobProgram, prof *perf.Profiler) (*CompiledJob, error) {
+	mapC, err := compiler.CompileOpts(p.MapSrc, compiler.Options{Prof: prof})
 	if err != nil {
 		return nil, fmt.Errorf("mr: job %s mapper: %w", p.Name, err)
 	}
@@ -49,7 +54,7 @@ func CompileJob(p JobProgram) (*CompiledJob, error) {
 		Schema:  mapC.Schema,
 	}
 	if p.CombineSrc != "" {
-		combC, err := compiler.Compile(p.CombineSrc)
+		combC, err := compiler.CompileOpts(p.CombineSrc, compiler.Options{Prof: prof})
 		if err != nil {
 			return nil, fmt.Errorf("mr: job %s combiner: %w", p.Name, err)
 		}
@@ -57,7 +62,9 @@ func CompileJob(p JobProgram) (*CompiledJob, error) {
 		cj.CombineF = &streaming.Filter{Name: p.Name + "-combine", Prog: combC.HostProg}
 	}
 	if p.ReduceSrc != "" {
+		endR := prof.Phase(perf.PhaseHostCompile)
 		rf, err := streaming.NewFilter(p.Name+"-reduce", p.ReduceSrc)
+		endR()
 		if err != nil {
 			return nil, fmt.Errorf("mr: job %s reducer: %w", p.Name, err)
 		}
@@ -75,6 +82,9 @@ type HardwareModel struct {
 	// DiskWriteGBs / HDFSWriteGBs feed the output-write model.
 	DiskWriteGBs float64
 	HDFSWriteGBs float64
+	// Prof, when non-nil, receives wall-clock phase and interpreter
+	// hot-path buckets from every task this hardware model executes.
+	Prof *perf.Profiler
 }
 
 // FunctionalExecutor runs every task for real: map splits come from the
@@ -134,9 +144,13 @@ func (x *FunctionalExecutor) MapTask(split int, onGPU bool, node int) (MapAttemp
 	readTime := x.FS.ReadTime(sp, node)
 	var attempt MapAttempt
 	if onGPU {
+		opts := x.HW.Opts
+		if opts.Prof == nil {
+			opts.Prof = x.HW.Prof
+		}
 		res, err := gpurt.RunTask(x.HW.Device, x.Job.MapC, x.Job.CombineC, input, gpurt.TaskConfig{
 			NumReducers:   x.Job.Program.NumReducers,
-			Opts:          x.HW.Opts,
+			Opts:          opts,
 			InputReadTime: readTime,
 			DiskWriteGBs:  x.HW.DiskWriteGBs,
 			HDFSWriteGBs:  x.HW.HDFSWriteGBs,
@@ -159,6 +173,7 @@ func (x *FunctionalExecutor) MapTask(split int, onGPU bool, node int) (MapAttemp
 			InputReadTime: readTime,
 			DiskWriteGBs:  x.HW.DiskWriteGBs,
 			HDFSWriteGBs:  x.HW.HDFSWriteGBs,
+			Prof:          x.HW.Prof,
 		})
 		if err != nil {
 			return MapAttempt{}, err
@@ -180,7 +195,7 @@ func (x *FunctionalExecutor) ReduceTask(p int, inputs [][]kv.Pair) (ReduceWork, 
 	for _, in := range inputs {
 		bytes += int64(len(in)) * int64(x.Job.Schema.SlotKeyLen()+x.Job.Schema.SlotValLen()+12)
 	}
-	out, compute, err := streaming.RunReduce(x.Job.ReduceF, x.Job.Schema, inputs, x.HW.CPU)
+	out, compute, err := streaming.RunReduceProf(x.Job.ReduceF, x.Job.Schema, inputs, x.HW.CPU, x.HW.Prof)
 	if err != nil {
 		return ReduceWork{}, err
 	}

@@ -1,5 +1,7 @@
 package obs
 
+import "repro/internal/perf"
+
 // SpaceCycles is one memory space's share of a kernel's cycles.
 type SpaceCycles struct {
 	Space  string
@@ -68,6 +70,25 @@ func (m *Registry) RecordKernelProfiles(profiles []KernelProfile) {
 			m.Counter("gpu_kernel_cycles_total", "GPU kernel cycles by memory space",
 				kl, L("space", sc.Space)).Add(sc.Cycles)
 		}
+	}
+}
+
+// RecordCostProfile folds a wall-clock cost-profiler snapshot into the
+// registry under the hd_prof_* families, so the hot-path attribution ships
+// through the same metrics surface as the virtual-time counters.
+func (m *Registry) RecordCostProfile(snap perf.Snapshot) {
+	if m == nil {
+		return
+	}
+	for _, e := range snap.Entries() {
+		labels := []Label{L("cat", e.Cat), L("name", e.Name)}
+		if e.Phase != "" {
+			labels = append(labels, L("phase", e.Phase))
+		}
+		m.Counter("hd_prof_self_seconds_total", "Wall-clock self time by cost bucket", labels...).
+			Add(float64(e.Nanos) / 1e9)
+		m.Counter("hd_prof_calls_total", "Invocations by cost bucket", labels...).
+			Add(float64(e.Count))
 	}
 }
 

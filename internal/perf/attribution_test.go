@@ -1,0 +1,71 @@
+package perf_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mr"
+	"repro/internal/perf"
+	"repro/internal/streaming"
+	"repro/internal/workload"
+)
+
+// TestAttributionCoversInterpreterTime is the profiler's fidelity gate:
+// on a real CPU map task (wordcount with combiner), (a) the engine-phase
+// self times must telescope to cover nearly all of the measured wall
+// clock, and (b) the interpreter buckets (per-statement, per-expression,
+// per-builtin) must account for at least 90% of the cpu-map phase — i.e.
+// the hot-path table explains where the time goes rather than leaving an
+// anonymous remainder.
+func TestAttributionCoversInterpreterTime(t *testing.T) {
+	wc := workload.Wordcount()
+	input := wc.Gen(11, 32<<10)
+	prof := perf.New()
+	cj, err := mr.CompileJobProf(wc.JobFor(1), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := cluster.Cluster1()
+	start := time.Now()
+	_, err = streaming.RunMapTask(cj.MapF, cj.CombineF, input, streaming.MapTaskConfig{
+		Schema:      cj.Schema,
+		NumReducers: cj.Program.NumReducers,
+		CPU:         setup.CPU,
+		Prof:        prof,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := prof.Snapshot()
+
+	phaseNs := snap.TotalNanos(perf.CatPhase)
+	if phaseNs == 0 {
+		t.Fatal("no phase buckets recorded")
+	}
+	// Phases open the moment RunMapTask starts, so their exclusive times
+	// telescope to the call's wall clock (compile time is outside `start`).
+	if frac := float64(phaseNs) / float64(elapsed.Nanoseconds()); frac < 0.90 {
+		t.Errorf("phases cover %.1f%% of RunMapTask wall time, want >= 90%%", 100*frac)
+	}
+
+	var mapPhase, interpInMap int64
+	for _, e := range snap.Entries() {
+		switch {
+		case e.Cat == perf.CatPhase && e.Name == perf.PhaseCPUMap:
+			mapPhase = e.Nanos
+		case e.Phase == perf.PhaseCPUMap:
+			interpInMap += e.Nanos
+		}
+	}
+	if mapPhase == 0 {
+		t.Fatal("no cpu-map phase bucket")
+	}
+	if interpInMap == 0 {
+		t.Fatal("no interpreter buckets under cpu-map")
+	}
+	if frac := float64(interpInMap) / float64(mapPhase); frac < 0.90 {
+		t.Errorf("interpreter buckets cover %.1f%% of the cpu-map phase, want >= 90%%", 100*frac)
+	}
+}

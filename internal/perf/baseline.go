@@ -1,0 +1,324 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+)
+
+// BaselineSchema is the current BENCH_*.json schema version. Comparing
+// files with a different schema is rejected, not guessed at.
+const BaselineSchema = 1
+
+// Env stamps the environment a baseline was measured in. Wall-clock
+// numbers from one environment say nothing about another, so Compare
+// rejects mismatches unless explicitly overridden.
+type Env struct {
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"numcpu"`
+}
+
+// CurrentEnv returns this process's environment stamp.
+func CurrentEnv() Env {
+	return Env{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+}
+
+// Sample is one benchmark repetition.
+type Sample struct {
+	N           int                `json:"n"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchResult is every repetition of one benchmark.
+type BenchResult struct {
+	Samples []Sample `json:"samples"`
+}
+
+// BestNs is the minimum observed ns/op — the standard wall-clock statistic
+// (the fastest run carries the least scheduler/GC interference).
+func (r BenchResult) BestNs() float64 {
+	best := 0.0
+	for i, s := range r.Samples {
+		if i == 0 || s.NsPerOp < best {
+			best = s.NsPerOp
+		}
+	}
+	return best
+}
+
+// Noise is the observed relative spread (max-min)/min across samples; 0
+// with fewer than two samples.
+func (r BenchResult) Noise() float64 {
+	if len(r.Samples) < 2 {
+		return 0
+	}
+	min, max := r.Samples[0].NsPerOp, r.Samples[0].NsPerOp
+	for _, s := range r.Samples[1:] {
+		if s.NsPerOp < min {
+			min = s.NsPerOp
+		}
+		if s.NsPerOp > max {
+			max = s.NsPerOp
+		}
+	}
+	if min <= 0 {
+		return 0
+	}
+	return (max - min) / min
+}
+
+// MaxAllocs is the maximum observed allocs/op (allocation counts are
+// near-deterministic; the max guards against undercounting).
+func (r BenchResult) MaxAllocs() float64 {
+	m := 0.0
+	for _, s := range r.Samples {
+		if s.AllocsPerOp > m {
+			m = s.AllocsPerOp
+		}
+	}
+	return m
+}
+
+// Metrics returns the last sample's custom metrics (they are deterministic
+// model outputs, identical across repetitions in a healthy run).
+func (r BenchResult) Metrics() map[string]float64 {
+	if len(r.Samples) == 0 {
+		return nil
+	}
+	return r.Samples[len(r.Samples)-1].Metrics
+}
+
+// Baseline is the persisted benchmark record (BENCH_baseline.json).
+type Baseline struct {
+	Schema     int                    `json:"schema"`
+	Created    string                 `json:"created,omitempty"`
+	Env        Env                    `json:"env"`
+	Repeat     int                    `json:"repeat"`
+	Short      bool                   `json:"short,omitempty"`
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+}
+
+// Encode writes the baseline as stable, indented JSON (map keys sort).
+func (b *Baseline) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// DecodeBaseline reads and validates a baseline file.
+func DecodeBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("perf: baseline: %w", err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("perf: baseline schema %d, this build understands %d — re-baseline", b.Schema, BaselineSchema)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("perf: baseline has no benchmarks")
+	}
+	return &b, nil
+}
+
+// Thresholds parameterize Compare.
+type Thresholds struct {
+	// TimeFrac is the allowed fractional ns/op increase before a
+	// regression, on top of the measured noise band of both runs.
+	TimeFrac float64
+	// AllocFrac is the allowed fractional allocs/op increase.
+	AllocFrac float64
+	// MetricFrac is the allowed fractional drift of custom metrics (model
+	// outputs); beyond it Compare warns but does not fail.
+	MetricFrac float64
+	// MinNs ignores the time check for benchmarks faster than this
+	// (timer-resolution noise floor).
+	MinNs float64
+	// AllowEnvMismatch downgrades an environment-stamp mismatch from an
+	// error to a warning (for wide-threshold CI gates on shared runners).
+	AllowEnvMismatch bool
+}
+
+// DefaultThresholds returns the hdbench defaults.
+func DefaultThresholds() Thresholds {
+	return Thresholds{TimeFrac: 0.25, AllocFrac: 0.10, MetricFrac: 0.05, MinNs: 1000}
+}
+
+// Verdict classifications for report lines.
+const (
+	VerdictOK         = "ok"
+	VerdictRegression = "REGRESSION"
+	VerdictImproved   = "improved"
+	VerdictDrift      = "drift"
+	VerdictMissing    = "missing"
+	VerdictNew        = "new"
+)
+
+// Delta is one compared quantity.
+type Delta struct {
+	Bench   string
+	Metric  string // "ns/op", "allocs/op", or a custom metric name
+	Base    float64
+	Cur     float64
+	Frac    float64 // cur/base - 1
+	Allowed float64
+	Verdict string
+}
+
+// Report is a completed comparison.
+type Report struct {
+	Deltas   []Delta
+	Warnings []string
+}
+
+// Regressions returns the failing deltas.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Verdict == VerdictRegression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// OK reports whether the comparison passed (no regressions).
+func (r *Report) OK() bool { return len(r.Regressions()) == 0 }
+
+// Write renders the report as a line-per-delta table plus warnings.
+func (r *Report) Write(w io.Writer) {
+	for _, d := range r.Deltas {
+		fmt.Fprintf(w, "%-28s %-22s %14.6g -> %14.6g  %+6.1f%% (allowed %.1f%%)  %s\n",
+			d.Bench, d.Metric, d.Base, d.Cur, 100*d.Frac, 100*d.Allowed, d.Verdict)
+	}
+	for _, warn := range r.Warnings {
+		fmt.Fprintf(w, "warning: %s\n", warn)
+	}
+	if reg := r.Regressions(); len(reg) > 0 {
+		fmt.Fprintf(w, "FAIL: %d regression(s)\n", len(reg))
+	} else {
+		fmt.Fprintf(w, "ok: no regressions (%d benchmarks compared)\n", len(comparedBenches(r.Deltas)))
+	}
+}
+
+func comparedBenches(ds []Delta) map[string]bool {
+	m := map[string]bool{}
+	for _, d := range ds {
+		if d.Verdict != VerdictMissing && d.Verdict != VerdictNew {
+			m[d.Bench] = true
+		}
+	}
+	return m
+}
+
+// Compare checks a current measurement against a baseline. It returns an
+// error (rejection, not a report) on schema or environment mismatch; the
+// report lists per-benchmark verdicts otherwise. Benchmarks present in
+// only one side produce warnings, not failures, so filtered/short runs can
+// be checked against a full baseline.
+func Compare(base, cur *Baseline, t Thresholds) (*Report, error) {
+	if base.Schema != cur.Schema {
+		return nil, fmt.Errorf("perf: schema mismatch: baseline %d vs current %d", base.Schema, cur.Schema)
+	}
+	rep := &Report{}
+	if base.Env != cur.Env {
+		msg := fmt.Sprintf("environment mismatch: baseline %+v vs current %+v", base.Env, cur.Env)
+		if !t.AllowEnvMismatch {
+			return nil, fmt.Errorf("perf: %s (re-baseline, or pass -allow-env-mismatch)", msg)
+		}
+		rep.Warnings = append(rep.Warnings, msg)
+	}
+
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		c := cur.Benchmarks[name]
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			rep.Deltas = append(rep.Deltas, Delta{Bench: name, Metric: "ns/op", Cur: c.BestNs(), Verdict: VerdictNew})
+			rep.Warnings = append(rep.Warnings, fmt.Sprintf("%s: no baseline entry (new benchmark?)", name))
+			continue
+		}
+		compareBench(rep, name, b, c, t)
+	}
+
+	baseNames := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		baseNames = append(baseNames, name)
+	}
+	sort.Strings(baseNames)
+	for _, name := range baseNames {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			rep.Deltas = append(rep.Deltas, Delta{Bench: name, Metric: "ns/op", Base: base.Benchmarks[name].BestNs(), Verdict: VerdictMissing})
+			rep.Warnings = append(rep.Warnings, fmt.Sprintf("%s: in baseline but not measured (filtered run?)", name))
+		}
+	}
+	return rep, nil
+}
+
+func compareBench(rep *Report, name string, b, c BenchResult, t Thresholds) {
+	// Wall time: best-of-N against best-of-N, tolerating the declared
+	// threshold plus the noise band observed on both sides.
+	bt, ct := b.BestNs(), c.BestNs()
+	if bt >= t.MinNs && bt > 0 {
+		frac := ct/bt - 1
+		allowed := t.TimeFrac + b.Noise() + c.Noise()
+		verdict := VerdictOK
+		switch {
+		case frac > allowed:
+			verdict = VerdictRegression
+		case frac < -allowed:
+			verdict = VerdictImproved
+		}
+		rep.Deltas = append(rep.Deltas, Delta{Bench: name, Metric: "ns/op", Base: bt, Cur: ct, Frac: frac, Allowed: allowed, Verdict: verdict})
+		if verdict == VerdictImproved {
+			rep.Warnings = append(rep.Warnings, fmt.Sprintf("%s: %.1f%% faster than baseline — consider re-baselining", name, -100*frac))
+		}
+	}
+
+	// Allocations: near-deterministic, so a tight band.
+	ba, ca := b.MaxAllocs(), c.MaxAllocs()
+	switch {
+	case ba > 0:
+		frac := ca/ba - 1
+		verdict := VerdictOK
+		if frac > t.AllocFrac {
+			verdict = VerdictRegression
+		}
+		rep.Deltas = append(rep.Deltas, Delta{Bench: name, Metric: "allocs/op", Base: ba, Cur: ca, Frac: frac, Allowed: t.AllocFrac, Verdict: verdict})
+	case ca > 8:
+		rep.Deltas = append(rep.Deltas, Delta{Bench: name, Metric: "allocs/op", Base: ba, Cur: ca, Allowed: t.AllocFrac, Verdict: VerdictRegression})
+	}
+
+	// Custom metrics: deterministic model outputs. Drift is a warning —
+	// it means the perf model changed, not that the code got slower.
+	bm, cm := b.Metrics(), c.Metrics()
+	metricNames := make([]string, 0, len(bm))
+	for k := range bm {
+		metricNames = append(metricNames, k)
+	}
+	sort.Strings(metricNames)
+	for _, k := range metricNames {
+		bv := bm[k]
+		cv, ok := cm[k]
+		if !ok || bv == 0 {
+			continue
+		}
+		frac := cv/bv - 1
+		if frac > t.MetricFrac || frac < -t.MetricFrac {
+			rep.Deltas = append(rep.Deltas, Delta{Bench: name, Metric: k, Base: bv, Cur: cv, Frac: frac, Allowed: t.MetricFrac, Verdict: VerdictDrift})
+			rep.Warnings = append(rep.Warnings, fmt.Sprintf("%s: metric %s drifted %+.1f%% (model change?)", name, k, 100*frac))
+		}
+	}
+}

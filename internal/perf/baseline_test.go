@@ -1,0 +1,228 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func mkBaseline(ns ...float64) *Baseline {
+	b := &Baseline{Schema: BaselineSchema, Env: CurrentEnv(), Repeat: len(ns), Benchmarks: map[string]BenchResult{}}
+	var samples []Sample
+	for _, v := range ns {
+		samples = append(samples, Sample{N: 1, NsPerOp: v, AllocsPerOp: 100})
+	}
+	b.Benchmarks["BenchmarkX"] = BenchResult{Samples: samples}
+	return b
+}
+
+func TestCompareRegressionDetected(t *testing.T) {
+	base := mkBaseline(1e6, 1.02e6)
+	cur := mkBaseline(2e6, 2.02e6) // 2x slower — far past any band
+	rep, err := Compare(base, cur, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("2x slowdown not flagged as regression")
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	var out bytes.Buffer
+	rep.Write(&out)
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("report missing FAIL:\n%s", out.String())
+	}
+}
+
+func TestCompareImprovementAccepted(t *testing.T) {
+	base := mkBaseline(2e6, 2.02e6)
+	cur := mkBaseline(1e6, 1.02e6) // 2x faster
+	rep, err := Compare(base, cur, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("improvement flagged as regression: %+v", rep.Regressions())
+	}
+	found := false
+	for _, d := range rep.Deltas {
+		if d.Verdict == VerdictImproved {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("2x speedup not marked improved")
+	}
+}
+
+func TestCompareNoiseBandRespected(t *testing.T) {
+	// Baseline is noisy: spread 1.0–1.5ms means a 50% noise band. A 60%
+	// slowdown of the best sample sits inside TimeFrac(25%)+noise(50%).
+	base := mkBaseline(1e6, 1.5e6)
+	cur := mkBaseline(1.6e6)
+	rep, err := Compare(base, cur, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("slowdown within noise band flagged: %+v", rep.Regressions())
+	}
+	// The same 60% on a quiet baseline is a regression.
+	quiet := mkBaseline(1e6, 1.0e6)
+	rep, err = Compare(quiet, cur, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("60% slowdown on quiet baseline not flagged")
+	}
+}
+
+func TestCompareSubThresholdIgnored(t *testing.T) {
+	base := mkBaseline(1e6, 1e6)
+	cur := mkBaseline(1.1e6, 1.1e6) // +10% < TimeFrac 25%
+	rep, err := Compare(base, cur, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("+10%% flagged as regression: %+v", rep.Regressions())
+	}
+}
+
+func TestCompareMinNsFloor(t *testing.T) {
+	base := mkBaseline(100) // below the 1000ns floor
+	cur := mkBaseline(500)  // 5x "slower" but all timer noise
+	rep, err := Compare(base, cur, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("sub-floor benchmark compared: %+v", rep.Regressions())
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := mkBaseline(1e6)
+	cur := mkBaseline(1e6)
+	s := cur.Benchmarks["BenchmarkX"].Samples
+	s[0].AllocsPerOp = 150 // +50% allocs, same time
+	cur.Benchmarks["BenchmarkX"] = BenchResult{Samples: s}
+	rep, err := Compare(base, cur, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("alloc regression not flagged: %+v", regs)
+	}
+}
+
+func TestCompareSchemaMismatchRejected(t *testing.T) {
+	base := mkBaseline(1e6)
+	base.Schema = 99
+	if _, err := Compare(base, mkBaseline(1e6), DefaultThresholds()); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}
+
+func TestCompareEnvMismatch(t *testing.T) {
+	base := mkBaseline(1e6)
+	base.Env.NumCPU++
+	cur := mkBaseline(1e6)
+	if _, err := Compare(base, cur, DefaultThresholds()); err == nil {
+		t.Fatal("env mismatch accepted without override")
+	}
+	th := DefaultThresholds()
+	th.AllowEnvMismatch = true
+	rep, err := Compare(base, cur, th)
+	if err != nil {
+		t.Fatalf("env mismatch with override: %v", err)
+	}
+	if len(rep.Warnings) == 0 {
+		t.Fatal("env mismatch override produced no warning")
+	}
+}
+
+func TestCompareMetricDriftWarns(t *testing.T) {
+	base := mkBaseline(1e6)
+	cur := mkBaseline(1e6)
+	bs := base.Benchmarks["BenchmarkX"].Samples
+	bs[0].Metrics = map[string]float64{"vtime-s": 10}
+	base.Benchmarks["BenchmarkX"] = BenchResult{Samples: bs}
+	cs := cur.Benchmarks["BenchmarkX"].Samples
+	cs[0].Metrics = map[string]float64{"vtime-s": 12} // +20% model drift
+	cur.Benchmarks["BenchmarkX"] = BenchResult{Samples: cs}
+	rep, err := Compare(base, cur, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("metric drift failed the gate: %+v", rep.Regressions())
+	}
+	if len(rep.Warnings) == 0 {
+		t.Fatal("metric drift produced no warning")
+	}
+}
+
+func TestCompareMissingAndNewAreWarnings(t *testing.T) {
+	base := mkBaseline(1e6)
+	base.Benchmarks["BenchmarkOnlyInBase"] = BenchResult{Samples: []Sample{{N: 1, NsPerOp: 1e6}}}
+	cur := mkBaseline(1e6)
+	cur.Benchmarks["BenchmarkOnlyInCur"] = BenchResult{Samples: []Sample{{N: 1, NsPerOp: 1e6}}}
+	rep, err := Compare(base, cur, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("set difference failed the gate: %+v", rep.Regressions())
+	}
+	if len(rep.Warnings) != 2 {
+		t.Fatalf("warnings = %v, want 2 (one missing, one new)", rep.Warnings)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := mkBaseline(1e6, 1.1e6)
+	b.Created = "2026-08-08T00:00:00Z"
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Env != b.Env || len(got.Benchmarks) != len(b.Benchmarks) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, b)
+	}
+	if got.Benchmarks["BenchmarkX"].BestNs() != 1e6 {
+		t.Fatalf("BestNs = %g", got.Benchmarks["BenchmarkX"].BestNs())
+	}
+}
+
+func TestDecodeRejectsBadSchema(t *testing.T) {
+	if _, err := DecodeBaseline(strings.NewReader(`{"schema": 0, "benchmarks": {"B": {"samples": []}}}`)); err == nil {
+		t.Fatal("schema 0 accepted")
+	}
+	if _, err := DecodeBaseline(strings.NewReader(`{"schema": 1, "benchmarks": {}}`)); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	r := BenchResult{Samples: []Sample{{NsPerOp: 100}, {NsPerOp: 150}, {NsPerOp: 120}}}
+	if got := r.BestNs(); got != 100 {
+		t.Fatalf("BestNs = %g", got)
+	}
+	if got := r.Noise(); got != 0.5 {
+		t.Fatalf("Noise = %g, want 0.5", got)
+	}
+	one := BenchResult{Samples: []Sample{{NsPerOp: 100}}}
+	if got := one.Noise(); got != 0 {
+		t.Fatalf("single-sample noise = %g", got)
+	}
+}

@@ -1,0 +1,67 @@
+package benchsuite
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/perf"
+)
+
+// Runner measures one benchmark body and returns a single sample. The
+// default wraps testing.Benchmark; tests inject stubs to simulate
+// regressions without burning wall time.
+type Runner func(fn func(b *testing.B)) perf.Sample
+
+// GoBenchRunner measures via the standard testing harness (auto-scaled
+// b.N), capturing ns/op, allocs/op, B/op, and every b.ReportMetric custom
+// metric.
+func GoBenchRunner(fn func(b *testing.B)) perf.Sample {
+	r := testing.Benchmark(fn)
+	s := perf.Sample{
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(max(r.N, 1)),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+	}
+	if len(r.Extra) > 0 {
+		s.Metrics = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			s.Metrics[k] = v
+		}
+	}
+	return s
+}
+
+// Measure runs each selected benchmark repeat times through the runner and
+// assembles the environment-stamped baseline. log (optional) receives one
+// progress line per benchmark.
+func Measure(benches []Bench, repeat int, short bool, runner Runner, log io.Writer) *perf.Baseline {
+	if repeat < 1 {
+		repeat = 1
+	}
+	if runner == nil {
+		runner = GoBenchRunner
+	}
+	base := &perf.Baseline{
+		Schema:     perf.BaselineSchema,
+		Created:    time.Now().UTC().Format(time.RFC3339),
+		Env:        perf.CurrentEnv(),
+		Repeat:     repeat,
+		Short:      short,
+		Benchmarks: make(map[string]perf.BenchResult, len(benches)),
+	}
+	for _, bench := range benches {
+		var res perf.BenchResult
+		for i := 0; i < repeat; i++ {
+			res.Samples = append(res.Samples, runner(bench.Fn))
+		}
+		base.Benchmarks[bench.Name] = res
+		if log != nil {
+			fmt.Fprintf(log, "%-36s best %12.0f ns/op  noise %5.1f%%  (%d samples)\n",
+				bench.Name, res.BestNs(), 100*res.Noise(), repeat)
+		}
+	}
+	return base
+}

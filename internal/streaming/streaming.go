@@ -15,6 +15,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/kv"
 	"repro/internal/minic"
+	"repro/internal/perf"
 )
 
 // CPUModel converts interpreter cost events into CPU seconds for one core.
@@ -82,12 +83,19 @@ func MustFilter(name, src string) *Filter {
 
 // Run executes the filter over input, returning its stdout and cost.
 func (f *Filter) Run(input []byte) (string, *interp.CountingSink, error) {
+	return f.RunCollect(input, nil)
+}
+
+// RunCollect is Run with an optional profiling collector attached to the
+// filter's interpreter (nil col means no profiling).
+func (f *Filter) RunCollect(input []byte, col *perf.Collector) (string, *interp.CountingSink, error) {
 	sink := &interp.CountingSink{}
 	var out bytes.Buffer
 	m := interp.New(f.Prog, interp.Options{
 		Stdin:  bytes.NewReader(input),
 		Stdout: &out,
 		Cost:   sink,
+		Prof:   col,
 	})
 	code, err := m.Run()
 	if err != nil {
@@ -161,6 +169,9 @@ type MapTaskConfig struct {
 	// DiskWriteGBs / HDFSWriteGBs mirror the GPU driver's write model.
 	DiskWriteGBs float64
 	HDFSWriteGBs float64
+	// Prof, when non-nil, receives wall-clock phase and interpreter
+	// hot-path buckets for this task.
+	Prof *perf.Profiler
 }
 
 func (c *MapTaskConfig) fillDefaults() {
@@ -183,12 +194,17 @@ func RunMapTask(mapF, combineF *Filter, input []byte, cfg MapTaskConfig) (*MapTa
 	res := &MapTaskResult{}
 	res.Times.InputRead = cfg.InputReadTime
 
-	out, sink, err := mapF.Run(input)
+	endMap := cfg.Prof.Phase(perf.PhaseCPUMap)
+	col := cfg.Prof.Collector(perf.PhaseCPUMap)
+	out, sink, err := mapF.RunCollect(input, col)
+	col.Flush()
 	if err != nil {
+		endMap()
 		return nil, err
 	}
 	res.Times.Map = cfg.CPU.Time(sink)
 	pairs, err := ParseKVLines(out, cfg.Schema)
+	endMap()
 	if err != nil {
 		return nil, fmt.Errorf("streaming: map output: %w", err)
 	}
@@ -204,6 +220,7 @@ func RunMapTask(mapF, combineF *Filter, input []byte, cfg MapTaskConfig) (*MapTa
 	}
 
 	// Partition, then sort each partition by key.
+	endSort := cfg.Prof.Phase(perf.PhaseCPUSort)
 	parts := make([][]kv.Pair, cfg.NumReducers)
 	for _, p := range pairs {
 		i := kv.Partition(p.Key, cfg.NumReducers)
@@ -213,24 +230,33 @@ func RunMapTask(mapF, combineF *Filter, input []byte, cfg MapTaskConfig) (*MapTa
 		kv.SortPairs(parts[i])
 		res.Times.Sort += cfg.CPU.SortTime(len(parts[i]), cfg.Schema.SlotKeyLen())
 	}
+	endSort()
 
 	if combineF != nil {
+		endCombine := cfg.Prof.Phase(perf.PhaseCPUCombine)
+		ccol := cfg.Prof.Collector(perf.PhaseCPUCombine)
 		combined := make([][]kv.Pair, cfg.NumReducers)
 		for i, part := range parts {
 			if len(part) == 0 {
 				continue
 			}
-			cout, csink, err := combineF.Run(RenderKVLines(part))
+			cout, csink, err := combineF.RunCollect(RenderKVLines(part), ccol)
 			if err != nil {
+				ccol.Flush()
+				endCombine()
 				return nil, err
 			}
 			res.Times.Combine += cfg.CPU.Time(csink)
 			cpairs, err := ParseKVLines(cout, cfg.Schema)
 			if err != nil {
+				ccol.Flush()
+				endCombine()
 				return nil, fmt.Errorf("streaming: combine output: %w", err)
 			}
 			combined[i] = cpairs
 		}
+		ccol.Flush()
+		endCombine()
 		res.Partitions = combined
 	} else {
 		res.Partitions = parts
@@ -247,11 +273,23 @@ func RunMapTask(mapF, combineF *Filter, input []byte, cfg MapTaskConfig) (*MapTa
 // the reduce filter over them, returning the final output pairs and the
 // filter's cost.
 func RunReduce(reduceF *Filter, schema kv.Schema, inputs [][]kv.Pair, cpu CPUModel) ([]kv.Pair, float64, error) {
+	return RunReduceProf(reduceF, schema, inputs, cpu, nil)
+}
+
+// RunReduceProf is RunReduce with optional wall-clock profiling of the
+// shuffle merge and the reduce filter.
+func RunReduceProf(reduceF *Filter, schema kv.Schema, inputs [][]kv.Pair, cpu CPUModel, prof *perf.Profiler) ([]kv.Pair, float64, error) {
+	endMerge := prof.Phase(perf.PhaseShuffleMerge)
 	merged := MergeSorted(inputs)
+	endMerge()
 	if reduceF == nil {
 		return merged, cpu.SortTime(len(merged), schema.SlotKeyLen()), nil
 	}
-	out, sink, err := reduceF.Run(RenderKVLines(merged))
+	endReduce := prof.Phase(perf.PhaseReduce)
+	col := prof.Collector(perf.PhaseReduce)
+	out, sink, err := reduceF.RunCollect(RenderKVLines(merged), col)
+	col.Flush()
+	endReduce()
 	if err != nil {
 		return nil, 0, err
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/hdfs"
 	"repro/internal/kv"
 	"repro/internal/mr"
+	"repro/internal/perf"
 	"repro/internal/streaming"
 )
 
@@ -105,6 +106,9 @@ type ClusterOpts struct {
 	Faults *faults.Plan
 	// Seed perturbs HDFS placement and engine scheduling.
 	Seed uint64
+	// Prof optionally attaches a wall-clock cost profiler to the run (the
+	// profiler-determinism tests drive this).
+	Prof *perf.Profiler
 }
 
 func (o *ClusterOpts) fillDefaults() {
@@ -146,6 +150,7 @@ func RunCluster(cj *mr.CompiledJob, input []byte, o ClusterOpts) (*mr.JobStats, 
 		Opts:         gpurt.AllOptimizations(),
 		DiskWriteGBs: setup.DiskWriteGBs,
 		HDFSWriteGBs: setup.HDFSWriteGBs,
+		Prof:         o.Prof,
 	})
 	if err != nil {
 		return nil, err
