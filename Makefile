@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint ci bench bench-baseline bench-check fuzz-smoke cover
+.PHONY: all build test race vet fmt lint lint-go opt-report ci bench bench-baseline bench-check fuzz-smoke cover
 
 all: build
 
@@ -29,6 +29,17 @@ lint:
 	$(GO) run ./cmd/hdlint -q -benchmarks
 	$(GO) run ./cmd/hdlint -q examples/minic/*.c
 
+# lint-go runs the determinism linter over the packages whose outputs
+# must be bit-reproducible (no math/rand, no time.Now, no unsorted map
+# iteration); see tools/detlint.
+lint-go:
+	$(GO) run ./tools/detlint internal/sim internal/mr internal/faults internal/obs
+
+# opt-report prints the SSA optimizer's per-pass rewrite counts for every
+# benchmark stage program (host and translated-kernel targets).
+opt-report:
+	$(GO) run ./cmd/hdbench -opt-report
+
 # fuzz-smoke gives each native fuzz target a short budget on top of its
 # checked-in corpus. Longer runs: go test -fuzz FuzzParser ./internal/minic
 fuzz-smoke:
@@ -52,7 +63,7 @@ cover:
 	check ./internal/compiler 80; \
 	check ./internal/mr 87
 
-ci: fmt vet build test race lint cover fuzz-smoke bench-check
+ci: fmt vet build test race lint lint-go cover fuzz-smoke bench-check
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -11,6 +11,7 @@
 //	hdbench -baseline                      (write BENCH_baseline.json)
 //	hdbench -check                         (compare, exit 1 on regression)
 //	hdbench -check -short -threshold 1.0   (cheap CI gate)
+//	hdbench -opt-report                    (per-pass SSA optimizer stats)
 package main
 
 import (
@@ -46,6 +47,7 @@ func main() {
 	filter := flag.String("filter", "", "substring filter on benchmark names in -baseline / -check mode")
 	threshold := flag.Float64("threshold", 0, "ns/op regression allowance as a fraction, before noise bands (0 = default 0.25)")
 	allowEnvMismatch := flag.Bool("allow-env-mismatch", false, "compare across differing Go version / CPU count with a warning instead of an error")
+	optReport := flag.Bool("opt-report", false, "print per-pass SSA optimizer statistics for the benchmark programs and exit")
 
 	hdprof := flag.Bool("hdprof", false, "attach the wall-clock cost profiler to the experiment run and print the hot-path report")
 	profTop := flag.Int("prof-top", 15, "rows in the -hdprof hot-path table")
@@ -57,6 +59,12 @@ func main() {
 
 	stopProfiles, err := startPprof(*cpuProfile, *mutexProfile)
 	check(err)
+
+	if *optReport {
+		check(runOptReport(os.Stdout))
+		check(stopProfiles())
+		return
+	}
 
 	if *baseline || *checkMode {
 		code := runBaseline(baselineOpts{

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/compiler"
@@ -34,7 +35,9 @@ func main() {
 
 	if *printCodes {
 		fmt.Println("hdlint diagnostic catalog:")
-		for _, c := range compiler.LintCatalog() {
+		catalog := append([]analysis.CodeInfo(nil), compiler.LintCatalog()...)
+		sort.Slice(catalog, func(i, j int) bool { return catalog[i].Code < catalog[j].Code })
+		for _, c := range catalog {
 			fmt.Printf("  %s  %-7s  %s\n", c.Code, c.Severity, c.Summary)
 		}
 		return

@@ -14,11 +14,13 @@ import (
 func Analyze(prog *minic.Program) []Diagnostic {
 	a := &analyzer{prog: prog, file: prog.File}
 	regions := a.mapreduceRegions()
+	a.oobOwned = a.hd403Owned(regions)
 	for _, r := range regions {
 		a.directivePass(r)
 	}
 	for _, fn := range prog.Funcs {
 		a.dataflowPass(fn)
+		a.optPass(fn)
 	}
 	for _, r := range regions {
 		a.parallelPass(r)
@@ -32,6 +34,9 @@ type analyzer struct {
 	prog  *minic.Program
 	file  string
 	diags []Diagnostic
+	// oobOwned marks subscripts the kernel-side HD403 pass reports, so the
+	// source-level HD605 pass does not double-report them.
+	oobOwned map[*minic.Index]bool
 }
 
 func (a *analyzer) report(code string, pos minic.Pos, msg, fix string) {

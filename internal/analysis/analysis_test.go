@@ -94,6 +94,16 @@ func TestCatalogSeveritiesUsedByPasses(t *testing.T) {
 	}
 }
 
+// TestCatalogSorted pins the `hdlint -codes` contract: the catalog lists
+// codes in strictly increasing order.
+func TestCatalogSorted(t *testing.T) {
+	for i := 1; i < len(Catalog); i++ {
+		if Catalog[i-1].Code >= Catalog[i].Code {
+			t.Errorf("catalog out of order: %s before %s", Catalog[i-1].Code, Catalog[i].Code)
+		}
+	}
+}
+
 func TestDiagnosticStringFormat(t *testing.T) {
 	d := Diagnostic{
 		Code: "HD202", Severity: SevWarning, File: "a.c",

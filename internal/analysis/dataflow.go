@@ -3,16 +3,20 @@ package analysis
 import (
 	"fmt"
 
+	"repro/internal/ir"
 	"repro/internal/minic"
 )
 
 // This file implements the dataflow pass (HD201..HD204): a forward
 // maybe-uninitialized analysis and a backward liveness analysis over the
 // function's CFG (minic.BuildCFG), plus a simple unused-variable scan.
-// Only function-local scalars and pointers are tracked; arrays are exempt
-// from initialization checks (element state is not modeled), and address
-// escapes (&x, array decay into calls) conservatively count as both a use
-// and a definition.
+// Both fixpoints run on the shared gen/kill solver (ir.SolveGenKill): each
+// block's ordered access-event list composes into one gen/kill pair, and a
+// replay over the solved block inputs produces the reports. Only
+// function-local scalars and pointers are tracked; arrays are exempt from
+// initialization checks (element state is not modeled), and address escapes
+// (&x, array decay into calls) conservatively count as both a use and a
+// definition.
 
 // symDecl records where a tracked local was declared, in source order.
 type symDecl struct {
@@ -56,8 +60,9 @@ func (a *analyzer) dataflowPass(fn *minic.FuncDecl) {
 		}
 	}
 
-	a.checkUninit(cfg, events, tracked, unused)
-	a.checkDeadStores(cfg, events, tracked, unused)
+	fl := newFlowLattice(cfg, events)
+	a.checkUninit(fl, tracked, unused)
+	a.checkDeadStores(fl, tracked, unused)
 }
 
 // localDecls returns fn's local variable declarations in source order.
@@ -77,62 +82,70 @@ func localDecls(fn *minic.FuncDecl) []symDecl {
 	return out
 }
 
+// flowLattice numbers every symbol the function's events touch and adapts
+// the statement-granularity CFG into the solver's abstract graph, so both
+// HD2xx fixpoints share one bit-index space.
+type flowLattice struct {
+	cfg    *minic.CFG
+	events [][]event
+	g      ir.Graph
+	idx    map[*minic.Symbol]int
+	n      int
+}
+
+func newFlowLattice(cfg *minic.CFG, events [][]event) *flowLattice {
+	fl := &flowLattice{cfg: cfg, events: events, idx: map[*minic.Symbol]int{}}
+	for _, evs := range events {
+		for _, ev := range evs {
+			if _, ok := fl.idx[ev.sym]; !ok {
+				fl.idx[ev.sym] = fl.n
+				fl.n++
+			}
+		}
+	}
+	fl.g = ir.Graph{
+		N:     len(cfg.Blocks),
+		Succs: make([][]int, len(cfg.Blocks)),
+		Preds: make([][]int, len(cfg.Blocks)),
+	}
+	for i, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			fl.g.Succs[i] = append(fl.g.Succs[i], s.ID)
+		}
+		for _, p := range b.Preds {
+			fl.g.Preds[i] = append(fl.g.Preds[i], p.ID)
+		}
+	}
+	return fl
+}
+
 // checkUninit runs forward maybe-uninitialized analysis (union merge) and
 // reports HD201 at the first read of a possibly-uninitialized scalar.
-func (a *analyzer) checkUninit(cfg *minic.CFG, events [][]event, tracked, unused map[*minic.Symbol]bool) {
-	n := len(cfg.Blocks)
-	in := make([]map[*minic.Symbol]bool, n)
-	out := make([]map[*minic.Symbol]bool, n)
-	for i := range out {
-		out[i] = map[*minic.Symbol]bool{}
-	}
-	transfer := func(i int, report func(ev event)) map[*minic.Symbol]bool {
-		s := map[*minic.Symbol]bool{}
-		for sym := range in[i] {
-			s[sym] = true
-		}
-		for _, ev := range events[i] {
+// Gen/kill composition of one block's ordered events: an uninitialized
+// declaration gens the fact, any write or address escape kills it.
+func (a *analyzer) checkUninit(fl *flowLattice, tracked, unused map[*minic.Symbol]bool) {
+	in, _ := ir.SolveGenKill(fl.g, ir.Forward, fl.n, func(i int) ir.GenKill { return fl.uninitGK(i) })
+
+	// Reporting replay over the solved block inputs: first read position
+	// per symbol while applying the same event transfer in order.
+	firstRead := map[*minic.Symbol]minic.Pos{}
+	for i := range fl.cfg.Blocks {
+		s := in[i].Copy()
+		for _, ev := range fl.events[i] {
+			bit := fl.idx[ev.sym]
 			switch ev.kind {
 			case evDeclUninit:
-				s[ev.sym] = true
+				s.Set(bit)
 			case evWrite, evAddr:
-				delete(s, ev.sym)
+				s.Clear(bit)
 			case evRead:
-				if report != nil && s[ev.sym] {
-					report(ev)
+				if s.Get(bit) && tracked[ev.sym] && !unused[ev.sym] {
+					if prev, ok := firstRead[ev.sym]; !ok || before(ev.pos, prev) {
+						firstRead[ev.sym] = ev.pos
+					}
 				}
 			}
 		}
-		return s
-	}
-	for changed := true; changed; {
-		changed = false
-		for i, b := range cfg.Blocks {
-			merged := map[*minic.Symbol]bool{}
-			for _, p := range b.Preds {
-				for sym := range out[p.ID] {
-					merged[sym] = true
-				}
-			}
-			in[i] = merged
-			next := transfer(i, nil)
-			if !sameSet(next, out[i]) {
-				out[i] = next
-				changed = true
-			}
-		}
-	}
-	// Reporting pass over the stable states: first read position per symbol.
-	firstRead := map[*minic.Symbol]minic.Pos{}
-	for i := range cfg.Blocks {
-		transfer(i, func(ev event) {
-			if !tracked[ev.sym] || unused[ev.sym] {
-				return
-			}
-			if prev, ok := firstRead[ev.sym]; !ok || before(ev.pos, prev) {
-				firstRead[ev.sym] = ev.pos
-			}
-		})
 	}
 	for _, sym := range sortedSyms(firstRead) {
 		a.report("HD201", firstRead[sym],
@@ -141,67 +154,57 @@ func (a *analyzer) checkUninit(cfg *minic.CFG, events [][]event, tracked, unused
 	}
 }
 
+func (fl *flowLattice) uninitGK(i int) ir.GenKill {
+	gen, kill := ir.NewBits(fl.n), ir.NewBits(fl.n)
+	for _, ev := range fl.events[i] {
+		bit := fl.idx[ev.sym]
+		switch ev.kind {
+		case evDeclUninit:
+			gen.Set(bit)
+			kill.Clear(bit)
+		case evWrite, evAddr:
+			kill.Set(bit)
+			gen.Clear(bit)
+		}
+	}
+	return ir.GenKill{Gen: gen, Kill: kill}
+}
+
 // checkDeadStores runs backward liveness and reports plain stores whose
 // value is never read: HD202 for computed stores, HD204 (info) for constant
-// defensive initializations that are overwritten before use.
-func (a *analyzer) checkDeadStores(cfg *minic.CFG, events [][]event, tracked, unused map[*minic.Symbol]bool) {
-	n := len(cfg.Blocks)
-	liveIn := make([]map[*minic.Symbol]bool, n)
-	for i := range liveIn {
-		liveIn[i] = map[*minic.Symbol]bool{}
-	}
-	transfer := func(i int, liveOut map[*minic.Symbol]bool, report func(ev event)) map[*minic.Symbol]bool {
-		s := map[*minic.Symbol]bool{}
-		for sym := range liveOut {
-			s[sym] = true
-		}
-		evs := events[i]
-		for j := len(evs) - 1; j >= 0; j-- {
-			ev := evs[j]
-			switch ev.kind {
-			case evWrite:
-				if report != nil && ev.plainStore && tracked[ev.sym] && !unused[ev.sym] && !s[ev.sym] {
-					report(ev)
-				}
-				delete(s, ev.sym)
-			case evRead, evAddr, evElemWrite:
-				s[ev.sym] = true
-			case evDeclUninit:
-				delete(s, ev.sym)
-			}
-		}
-		return s
-	}
-	liveOutOf := func(b *minic.CFGBlock) map[*minic.Symbol]bool {
-		out := map[*minic.Symbol]bool{}
-		for _, succ := range b.Succs {
-			for sym := range liveIn[succ.ID] {
-				out[sym] = true
-			}
-		}
-		return out
-	}
-	for changed := true; changed; {
-		changed = false
-		for i := n - 1; i >= 0; i-- {
-			b := cfg.Blocks[i]
-			next := transfer(i, liveOutOf(b), nil)
-			if !sameSet(next, liveIn[i]) {
-				liveIn[i] = next
-				changed = true
-			}
-		}
-	}
+// defensive initializations that are overwritten before use. Composition is
+// over the block's events in reverse: a read (or escape, or element write)
+// gens liveness, a whole-variable write or uninitialized declaration kills
+// it.
+func (a *analyzer) checkDeadStores(fl *flowLattice, tracked, unused map[*minic.Symbol]bool) {
+	// For Backward problems the solver's IN is the meet over successors'
+	// OUT — the value at the block's exit, i.e. liveOut.
+	liveOut, _ := ir.SolveGenKill(fl.g, ir.Backward, fl.n, func(i int) ir.GenKill { return fl.liveGK(i) })
+
 	type deadStore struct {
 		pos      minic.Pos
 		sym      *minic.Symbol
 		constRHS bool
 	}
 	var dead []deadStore
-	for i, b := range cfg.Blocks {
-		transfer(i, liveOutOf(b), func(ev event) {
-			dead = append(dead, deadStore{pos: ev.pos, sym: ev.sym, constRHS: ev.constRHS})
-		})
+	for i := range fl.cfg.Blocks {
+		s := liveOut[i].Copy()
+		evs := fl.events[i]
+		for j := len(evs) - 1; j >= 0; j-- {
+			ev := evs[j]
+			bit := fl.idx[ev.sym]
+			switch ev.kind {
+			case evWrite:
+				if ev.plainStore && tracked[ev.sym] && !unused[ev.sym] && !s.Get(bit) {
+					dead = append(dead, deadStore{pos: ev.pos, sym: ev.sym, constRHS: ev.constRHS})
+				}
+				s.Clear(bit)
+			case evRead, evAddr, evElemWrite:
+				s.Set(bit)
+			case evDeclUninit:
+				s.Clear(bit)
+			}
+		}
 	}
 	for _, d := range dead {
 		if d.constRHS {
@@ -216,16 +219,22 @@ func (a *analyzer) checkDeadStores(cfg *minic.CFG, events [][]event, tracked, un
 	}
 }
 
-func sameSet(a, b map[*minic.Symbol]bool) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k := range a {
-		if !b[k] {
-			return false
+func (fl *flowLattice) liveGK(i int) ir.GenKill {
+	gen, kill := ir.NewBits(fl.n), ir.NewBits(fl.n)
+	evs := fl.events[i]
+	for j := len(evs) - 1; j >= 0; j-- {
+		ev := evs[j]
+		bit := fl.idx[ev.sym]
+		switch ev.kind {
+		case evWrite, evDeclUninit:
+			kill.Set(bit)
+			gen.Clear(bit)
+		case evRead, evAddr, evElemWrite:
+			gen.Set(bit)
+			kill.Clear(bit)
 		}
 	}
-	return true
+	return ir.GenKill{Gen: gen, Kill: kill}
 }
 
 func before(a, b minic.Pos) bool {

@@ -13,6 +13,8 @@
 //	HD3xx  parallel legality (races Algorithm 1 cannot privatize)
 //	HD4xx  GPU safety on the translated kernel (barriers, shared memory)
 //	HD5xx  IO purity (only replaceable calls inside directive regions)
+//	HD6xx  optimization facts (SSA/SCCP-derived constants, dead code,
+//	       redundancy, and proven out-of-range subscripts)
 package analysis
 
 import (
@@ -142,6 +144,11 @@ var Catalog = []CodeInfo{
 	{"HD403", SevError, "statically out-of-bounds index into a constant/texture array"},
 	{"HD501", SevError, "call inside a directive region is not GPU-replaceable"},
 	{"HD502", SevError, "function called from a directive region transitively performs forbidden IO"},
+	{"HD601", SevInfo, "branch condition is provably constant (SCCP)"},
+	{"HD602", SevInfo, "statement is provably unreachable"},
+	{"HD603", SevInfo, "expression recomputes a value already computed on every path here"},
+	{"HD604", SevInfo, "loop emits the same key/value pair every iteration"},
+	{"HD605", SevError, "subscript is provably out of range for a fixed-length array"},
 }
 
 // catalogSeverity returns the documented severity for a code (used so

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/ir"
 	"repro/internal/kv"
 	"repro/internal/minic"
 	"repro/internal/perf"
@@ -115,6 +116,11 @@ type Compiled struct {
 	// with Options.Analyze (nil otherwise). Analysis is strictly read-only:
 	// it never changes the generated kernel.
 	Diagnostics []analysis.Diagnostic
+	// HostOpt / KernelOpt are the SSA optimizer's per-pass statistics for
+	// the host program and the translated kernel program (nil when
+	// compilation ran with Options.DisableOpt).
+	HostOpt   *ir.Stats
+	KernelOpt *ir.Stats
 }
 
 // Options configures CompileOpts.
@@ -125,6 +131,10 @@ type Options struct {
 	Analyze bool
 	// File names the source in error messages and diagnostics.
 	File string
+	// DisableOpt turns off the SSA optimizer (-O0). The zero value
+	// optimizes: both the host program and the kernel program run the
+	// analysis-driven passes before being handed to the backends.
+	DisableOpt bool
 	// Prof, when non-nil, charges the host parse and the GPU translation
 	// to wall-clock phase buckets.
 	Prof *perf.Profiler
@@ -166,6 +176,15 @@ func CompileOpts(src string, opts Options) (*Compiled, error) {
 			diags = []analysis.Diagnostic{}
 		}
 		c.Diagnostics = diags
+	}
+	// Optimize last: lints and the CUDA rendering see the program as
+	// written, while all three executing backends (interpreter, streaming,
+	// GPU) receive the optimized ASTs.
+	if !opts.DisableOpt {
+		endOpt := opts.Prof.Phase(perf.PhaseOptimize)
+		c.HostOpt = ir.OptimizeProgram(host)
+		c.KernelOpt = ir.OptimizeProgram(spec.Prog)
+		endOpt()
 	}
 	return c, nil
 }

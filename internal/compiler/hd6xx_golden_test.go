@@ -1,0 +1,50 @@
+package compiler_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestHD6xxGoldenDiagnostics pins the exact rendered text of every HD6xx
+// optimization-lint diagnostic over the corpus trigger programs: codes,
+// positions, messages, and fix hints all come from the shared SSA fact
+// base (internal/ir), so any drift there shows up as a byte diff here.
+func TestHD6xxGoldenDiagnostics(t *testing.T) {
+	var buf bytes.Buffer
+	for _, c := range lintCorpus {
+		if !strings.HasPrefix(c.code, "HD6") {
+			continue
+		}
+		fmt.Fprintf(&buf, "== %s ==\n", c.code)
+		for _, d := range compiler.Lint(c.code+".c", c.src) {
+			fmt.Fprintln(&buf, d.String())
+		}
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no HD6xx corpus entries found")
+	}
+	golden := filepath.Join("testdata", "hd6xx_diags.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/compiler -run HD6xxGolden -update`): %v", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Errorf("HD6xx diagnostics differ from %s (re-run with -update if the change is intended)\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

@@ -445,6 +445,98 @@ int main() {
 	return 0;
 }`,
 	},
+	{
+		// A non-literal condition SCCP proves constant. The clean twin gets
+		// its value from a call, which the lattice cannot see through.
+		code: "HD601",
+		src: `int main() {
+	int n = 3;
+	if (n > 2) { printf("big\n"); }
+	return 0;
+}`,
+		clean: `int opaque() { return 3; }
+int main() {
+	int n = opaque();
+	if (n > 2) { printf("big\n"); }
+	return 0;
+}`,
+	},
+	{
+		// Code after an unconditional return never executes.
+		code: "HD602",
+		src: `int main() {
+	printf("live\n");
+	return 0;
+	printf("dead\n");
+	return 1;
+}`,
+		clean: `int main() {
+	printf("live\n");
+	return 0;
+}`,
+	},
+	{
+		// The second initializer recomputes the first, value-numbered over
+		// SSA. The clean twin perturbs one operand.
+		code: "HD603",
+		src: `int opaque() { return 3; }
+int main() {
+	int v = opaque();
+	int a = v * 10 + 1;
+	int b = v * 10 + 1;
+	printf("%d %d\n", a, b);
+	return 0;
+}`,
+		clean: `int opaque() { return 3; }
+int main() {
+	int v = opaque();
+	int a = v * 10 + 1;
+	int b = v * 10 + 2;
+	printf("%d %d\n", a, b);
+	return 0;
+}`,
+	},
+	{
+		// The loop prints a value no iteration changes.
+		code: "HD604",
+		src: `int opaque() { return 3; }
+int main() {
+	int k = opaque();
+	int i = 0;
+	while (i < 3) {
+		printf("%d\n", k);
+		i = i + 1;
+	}
+	return 0;
+}`,
+		clean: `int opaque() { return 3; }
+int main() {
+	int k = opaque();
+	int i = 0;
+	while (i < 3) {
+		printf("%d\n", k + i);
+		i = i + 1;
+	}
+	return 0;
+}`,
+	},
+	{
+		// A constant subscript past the end of a fixed array (the source
+		// level generalization of HD403, which only sees kernel arrays).
+		code: "HD605",
+		src: `int main() {
+	int a[4];
+	a[0] = 5;
+	printf("%d\n", a[7]);
+	return 0;
+}`,
+		clean: `int main() {
+	int a[4];
+	a[0] = 5;
+	printf("%d\n", a[0]);
+	return 0;
+}`,
+	},
 }
 
 func TestLintCorpus(t *testing.T) {

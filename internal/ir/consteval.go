@@ -1,0 +1,251 @@
+package ir
+
+import (
+	"math"
+
+	"repro/internal/minic"
+)
+
+// Const is an abstract interpreter value restricted to the scalar kinds
+// the optimizer folds: int64 (covering char/int/long) and float64
+// (covering float/double). Pointers are never constant here. Every
+// operation in this file replicates internal/interp's semantics bit for
+// bit: int64 wraparound, shift-count masking with &63, float promotion
+// when either operand is float, float32/int32 storage truncation in
+// convert, and strictly *no* result for division or modulo by zero (the
+// interpreter raises a runtime error there, which folding must preserve
+// by leaving the expression alone).
+
+// ConstKind discriminates Const.
+type ConstKind int
+
+// Const kinds.
+const (
+	ConstInt ConstKind = iota
+	ConstFloat
+)
+
+// Const is a compile-time scalar value.
+type Const struct {
+	Kind ConstKind
+	I    int64
+	F    float64
+}
+
+// IntConst makes an integer constant.
+func IntConst(i int64) Const { return Const{Kind: ConstInt, I: i} }
+
+// FloatConst makes a float constant.
+func FloatConst(f float64) Const { return Const{Kind: ConstFloat, F: f} }
+
+// AsInt mirrors interp.Value.AsInt for non-pointer values.
+func (c Const) AsInt() int64 {
+	if c.Kind == ConstFloat {
+		return int64(c.F)
+	}
+	return c.I
+}
+
+// AsFloat mirrors interp.Value.AsFloat.
+func (c Const) AsFloat() float64 {
+	if c.Kind == ConstFloat {
+		return c.F
+	}
+	return float64(c.I)
+}
+
+// Truthy mirrors interp.Value.Truthy.
+func (c Const) Truthy() bool {
+	if c.Kind == ConstFloat {
+		return c.F != 0
+	}
+	return c.I != 0
+}
+
+// Equal reports exact equality (same kind and same bits; NaN != NaN so a
+// NaN constant never merges, which only costs precision, not soundness).
+func (c Const) Equal(d Const) bool {
+	if c.Kind != d.Kind {
+		return false
+	}
+	if c.Kind == ConstFloat {
+		return c.F == d.F
+	}
+	return c.I == d.I
+}
+
+func boolConst(b bool) Const {
+	if b {
+		return IntConst(1)
+	}
+	return IntConst(0)
+}
+
+// foldBinary applies a non-short-circuit binary operator to constants.
+// ok is false when the operation cannot be folded (unknown operator, or a
+// division/modulo that would trap).
+func foldBinary(op string, l, r Const) (Const, bool) {
+	if l.Kind == ConstFloat || r.Kind == ConstFloat {
+		lf, rf := l.AsFloat(), r.AsFloat()
+		switch op {
+		case "+":
+			return FloatConst(lf + rf), true
+		case "-":
+			return FloatConst(lf - rf), true
+		case "*":
+			return FloatConst(lf * rf), true
+		case "/":
+			if rf == 0 {
+				return Const{}, false // runtime error; never fold
+			}
+			return FloatConst(lf / rf), true
+		case "==":
+			return boolConst(lf == rf), true
+		case "!=":
+			return boolConst(lf != rf), true
+		case "<":
+			return boolConst(lf < rf), true
+		case ">":
+			return boolConst(lf > rf), true
+		case "<=":
+			return boolConst(lf <= rf), true
+		case ">=":
+			return boolConst(lf >= rf), true
+		}
+		return Const{}, false
+	}
+	li, ri := l.AsInt(), r.AsInt()
+	switch op {
+	case "+":
+		return IntConst(li + ri), true
+	case "-":
+		return IntConst(li - ri), true
+	case "*":
+		return IntConst(li * ri), true
+	case "/":
+		if ri == 0 {
+			return Const{}, false
+		}
+		return IntConst(li / ri), true
+	case "%":
+		if ri == 0 {
+			return Const{}, false
+		}
+		return IntConst(li % ri), true
+	case "<<":
+		return IntConst(li << uint(ri&63)), true
+	case ">>":
+		return IntConst(li >> uint(ri&63)), true
+	case "&":
+		return IntConst(li & ri), true
+	case "|":
+		return IntConst(li | ri), true
+	case "^":
+		return IntConst(li ^ ri), true
+	case "==", "!=", "<", ">", "<=", ">=":
+		switch op {
+		case "==":
+			return boolConst(li == ri), true
+		case "!=":
+			return boolConst(li != ri), true
+		case "<":
+			return boolConst(li < ri), true
+		case ">":
+			return boolConst(li > ri), true
+		case "<=":
+			return boolConst(li <= ri), true
+		default:
+			return boolConst(li >= ri), true
+		}
+	}
+	return Const{}, false
+}
+
+// foldUnary applies -, ! or ~.
+func foldUnary(op string, v Const) (Const, bool) {
+	switch op {
+	case "-":
+		if v.Kind == ConstFloat {
+			return FloatConst(-v.F), true
+		}
+		return IntConst(-v.AsInt()), true
+	case "!":
+		return boolConst(!v.Truthy()), true
+	case "~":
+		return IntConst(^v.AsInt()), true
+	}
+	return Const{}, false
+}
+
+// foldConvert mirrors interp's convertFor storage truncation for the
+// scalar kinds. Pointer and aggregate targets are not foldable.
+func foldConvert(t *minic.Type, v Const) (Const, bool) {
+	if t == nil {
+		return v, true
+	}
+	switch t.Kind {
+	case minic.TypeChar:
+		return IntConst(int64(byte(v.AsInt()))), true
+	case minic.TypeInt:
+		return IntConst(int64(int32(v.AsInt()))), true
+	case minic.TypeLong:
+		return IntConst(v.AsInt()), true
+	case minic.TypeFloat:
+		return FloatConst(float64(float32(v.AsFloat()))), true
+	case minic.TypeDouble:
+		return FloatConst(v.AsFloat()), true
+	}
+	return Const{}, false
+}
+
+var pureFn1 = map[string]func(float64) float64{
+	"sqrt": math.Sqrt, "fabs": math.Abs, "exp": math.Exp, "log": math.Log,
+	"log2": math.Log2, "floor": math.Floor, "ceil": math.Ceil,
+	"erf": math.Erf, "sin": math.Sin, "cos": math.Cos,
+}
+
+var pureFn2 = map[string]func(a, b float64) float64{
+	"pow": math.Pow, "fmin": math.Min, "fmax": math.Max,
+}
+
+// foldCall folds the pure math builtins using the identical Go functions
+// the interpreter stdlib binds, plus abs and the ctype/char helpers.
+func foldCall(name string, args []Const) (Const, bool) {
+	if f, ok := pureFn1[name]; ok && len(args) == 1 {
+		return FloatConst(f(args[0].AsFloat())), true
+	}
+	if f, ok := pureFn2[name]; ok && len(args) == 2 {
+		return FloatConst(f(args[0].AsFloat(), args[1].AsFloat())), true
+	}
+	if len(args) != 1 {
+		return Const{}, false
+	}
+	c := byte(args[0].AsInt())
+	switch name {
+	case "abs":
+		v := args[0].AsInt()
+		if v < 0 {
+			v = -v
+		}
+		return IntConst(v), true
+	case "isdigit":
+		return boolConst(c >= '0' && c <= '9'), true
+	case "isalpha":
+		return boolConst((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')), true
+	case "isalnum":
+		return boolConst((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')), true
+	case "isspace":
+		return boolConst(c == ' ' || c == '\t' || c == '\n' || c == '\r'), true
+	case "tolower":
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		return IntConst(int64(c)), true
+	case "toupper":
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		return IntConst(int64(c)), true
+	}
+	return Const{}, false
+}

@@ -1,0 +1,115 @@
+package ir
+
+// Dominator tree and dominance frontiers via the Cooper-Harvey-Kennedy
+// "A Simple, Fast Dominance Algorithm": iterate intersect() over the
+// reverse postorder until fixpoint, then derive frontiers from join-point
+// predecessors.
+
+// computeDominators fills idom, children, frontier and rpo on every block
+// reachable from f.Entry. Unreachable blocks keep rpo == -1 and a nil
+// idom; SSA renaming and SCCP skip them.
+func computeDominators(f *Func) {
+	// Postorder DFS from entry.
+	var post []*Block
+	seen := make([]bool, len(f.Blocks))
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.ID] = true
+		for _, s := range b.Succs {
+			if !seen[s.ID] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry)
+
+	// Reverse postorder indices.
+	n := len(post)
+	rpoList := make([]*Block, n)
+	for i, b := range post {
+		idx := n - 1 - i
+		b.rpo = idx
+		rpoList[idx] = b
+	}
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for a.rpo > b.rpo {
+				a = a.idom
+			}
+			for b.rpo > a.rpo {
+				b = b.idom
+			}
+		}
+		return a
+	}
+
+	f.Entry.idom = f.Entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpoList[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if p.rpo < 0 || p.idom == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && b.idom != newIdom {
+				b.idom = newIdom
+				changed = true
+			}
+		}
+	}
+	f.Entry.idom = nil
+
+	for _, b := range rpoList {
+		if b.idom != nil {
+			b.idom.children = append(b.idom.children, b)
+		}
+	}
+
+	// Dominance frontiers.
+	for _, b := range rpoList {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			if p.rpo < 0 {
+				continue
+			}
+			runner := p
+			for runner != nil && runner != b.idom {
+				if !containsBlock(runner.frontier, b) {
+					runner.frontier = append(runner.frontier, b)
+				}
+				runner = runner.idom
+			}
+		}
+	}
+}
+
+func containsBlock(list []*Block, b *Block) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// dominates reports whether a dominates b (reflexively).
+func dominates(a, b *Block) bool {
+	for b != nil {
+		if b == a {
+			return true
+		}
+		b = b.idom
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+package ir
+
+// Minimal SSA construction: phi nodes are placed at the iterated dominance
+// frontier of each variable's definition blocks, then a stack-based
+// renaming walk over the dominator tree wires every OpLoad to its reaching
+// definition and fills phi operands. Phi operands from paths where the
+// variable has no definition yet (declared later in source order) stay
+// nil; SCCP treats nil operands on executable edges as unknowable.
+
+// placePhis inserts OpPhi instructions for every tracked variable at the
+// iterated dominance frontier of its definition sites.
+func placePhis(f *Func) {
+	defBlocks := make(map[*Var][]*Block)
+	inDefs := make(map[*Var]map[*Block]bool)
+	for _, in := range f.instrs {
+		switch in.Op {
+		case OpStore, OpDeclZero, OpParam:
+			if in.Block.rpo < 0 {
+				continue
+			}
+			if inDefs[in.Var] == nil {
+				inDefs[in.Var] = map[*Block]bool{}
+			}
+			if !inDefs[in.Var][in.Block] {
+				inDefs[in.Var][in.Block] = true
+				defBlocks[in.Var] = append(defBlocks[in.Var], in.Block)
+			}
+		}
+	}
+	for _, v := range f.Vars {
+		work := append([]*Block(nil), defBlocks[v]...)
+		placed := map[*Block]bool{}
+		onWork := map[*Block]bool{}
+		for _, b := range work {
+			onWork[b] = true
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, d := range b.frontier {
+				if placed[d] {
+					continue
+				}
+				placed[d] = true
+				phi := &Instr{
+					ID:    f.nextID,
+					Op:    OpPhi,
+					Var:   v,
+					Args:  make([]*Instr, len(d.Preds)),
+					Block: d,
+				}
+				f.nextID++
+				d.Phis = append(d.Phis, phi)
+				f.instrs = append(f.instrs, phi)
+				if !onWork[d] {
+					onWork[d] = true
+					work = append(work, d)
+				}
+			}
+		}
+	}
+}
+
+// rename walks the dominator tree filling OpLoad.Args[0] with the reaching
+// definition and phi operands with each predecessor's outgoing definition.
+func rename(f *Func) {
+	stacks := make([][]*Instr, len(f.Vars))
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		var pushed []*Var
+		push := func(v *Var, def *Instr) {
+			stacks[v.ID] = append(stacks[v.ID], def)
+			pushed = append(pushed, v)
+		}
+		top := func(v *Var) *Instr {
+			s := stacks[v.ID]
+			if len(s) == 0 {
+				return nil
+			}
+			return s[len(s)-1]
+		}
+		for _, phi := range b.Phis {
+			push(phi.Var, phi)
+		}
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case OpLoad:
+				in.Args = []*Instr{top(in.Var)}
+			case OpStore, OpDeclZero, OpParam:
+				push(in.Var, in)
+			}
+		}
+		for _, s := range b.Succs {
+			// Operand slot for this edge: position of b in s.Preds.
+			for slot, p := range s.Preds {
+				if p != b {
+					continue
+				}
+				for _, phi := range s.Phis {
+					phi.Args[slot] = top(phi.Var)
+				}
+			}
+		}
+		for _, c := range b.children {
+			walk(c)
+		}
+		for _, v := range pushed {
+			stacks[v.ID] = stacks[v.ID][:len(stacks[v.ID])-1]
+		}
+	}
+	walk(f.Entry)
+}

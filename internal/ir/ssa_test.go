@@ -1,0 +1,189 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/minic"
+)
+
+func buildFunc(t *testing.T, src string) *Func {
+	t.Helper()
+	prog, err := minic.ParseAndCheck(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, fn := range prog.Funcs {
+		if fn.Name == "main" {
+			return Build(fn)
+		}
+	}
+	t.Fatal("no main function")
+	return nil
+}
+
+func phisFor(f *Func, name string) []*Instr {
+	var out []*Instr
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis {
+			if phi.Var.Sym.Name == name {
+				out = append(out, phi)
+			}
+		}
+	}
+	return out
+}
+
+// Diamond: a variable assigned in both arms of an if/else needs exactly
+// one phi, at the join block, with one operand per predecessor.
+func TestPhiPlacementDiamond(t *testing.T) {
+	f := buildFunc(t, `
+int main(int argc) {
+	int x = 0;
+	if (argc > 1) { x = 1; } else { x = 2; }
+	printf("%d\n", x);
+	return x;
+}`)
+	phis := phisFor(f, "x")
+	if len(phis) != 1 {
+		t.Fatalf("want exactly 1 phi for x at the diamond join, got %d", len(phis))
+	}
+	phi := phis[0]
+	if len(phi.Args) != len(phi.Block.Preds) {
+		t.Fatalf("phi has %d args for %d predecessors", len(phi.Args), len(phi.Block.Preds))
+	}
+	if len(phi.Args) != 2 {
+		t.Fatalf("join block should have 2 predecessors, got %d", len(phi.Args))
+	}
+	for i, a := range phi.Args {
+		if a == nil {
+			t.Fatalf("phi operand %d is nil; both arms define x", i)
+		}
+		if a.Op != OpStore {
+			t.Fatalf("phi operand %d should be a store, got op %d", i, a.Op)
+		}
+	}
+}
+
+// Loop: a variable updated in a while body needs a phi at the loop header
+// merging the preheader definition with the back-edge definition.
+func TestPhiPlacementLoop(t *testing.T) {
+	f := buildFunc(t, `
+int main() {
+	int i = 0;
+	int s = 0;
+	while (i < 10) {
+		s = s + i;
+		i = i + 1;
+	}
+	printf("%d\n", s);
+	return 0;
+}`)
+	for _, name := range []string{"i", "s"} {
+		phis := phisFor(f, name)
+		if len(phis) != 1 {
+			t.Fatalf("want exactly 1 phi for %s at the loop header, got %d", name, len(phis))
+		}
+		phi := phis[0]
+		if len(phi.Args) != 2 {
+			t.Fatalf("%s: header phi should merge 2 paths, got %d", name, len(phi.Args))
+		}
+		sawInit, sawLoop := false, false
+		for _, a := range phi.Args {
+			if a == nil {
+				t.Fatalf("%s: nil phi operand", name)
+			}
+			switch a.StoreKind {
+			case StoreDeclInit:
+				sawInit = true
+			default:
+				sawLoop = true
+			}
+		}
+		if !sawInit || !sawLoop {
+			t.Fatalf("%s: phi should merge the init and the loop update, got init=%v loop=%v",
+				name, sawInit, sawLoop)
+		}
+		// The header load must read the phi, not either store directly.
+		header := phi.Block
+		foundLoad := false
+		for _, in := range header.Instrs {
+			if in.Op == OpLoad && in.Var == phi.Var {
+				foundLoad = true
+				if in.Args[0] != phi {
+					t.Fatalf("%s: header load should read the phi", name)
+				}
+			}
+		}
+		if name == "i" && !foundLoad {
+			t.Fatal("loop condition should load i in the header block")
+		}
+	}
+}
+
+// A variable only ever assigned once needs no phi anywhere.
+func TestNoPhiForSingleAssignment(t *testing.T) {
+	f := buildFunc(t, `
+int main(int argc) {
+	int x = 42;
+	if (argc > 1) { printf("%d\n", x); }
+	return x;
+}`)
+	if phis := phisFor(f, "x"); len(phis) != 0 {
+		t.Fatalf("single-assignment variable needs no phis, got %d", len(phis))
+	}
+}
+
+// SCCP through a diamond: both arms assign the same constant, so the phi
+// and every downstream use folds.
+func TestSCCPMergesEqualConstants(t *testing.T) {
+	f := buildFunc(t, `
+int main(int argc) {
+	int x;
+	if (argc > 1) { x = 7; } else { x = 7; }
+	int y = x * 2;
+	printf("%d\n", y);
+	return 0;
+}`)
+	s := Run(f)
+	phis := phisFor(f, "x")
+	if len(phis) != 1 {
+		t.Fatalf("want 1 phi, got %d", len(phis))
+	}
+	c, ok := s.ConstOf(phis[0])
+	if !ok || c.AsInt() != 7 {
+		t.Fatalf("phi of equal constants should fold to 7, got %+v ok=%v", c, ok)
+	}
+}
+
+// SCCP keeps facts from provably-dead branches out of the result.
+func TestSCCPDeadBranchPruning(t *testing.T) {
+	prog, err := minic.ParseAndCheck(`
+int main() {
+	int x = 1;
+	if (x == 2) { printf("dead\n"); }
+	return x;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Build(prog.Funcs[len(prog.Funcs)-1])
+	s := Run(f)
+	reachCount := 0
+	for _, b := range f.Blocks {
+		if s.Reachable(b) {
+			reachCount++
+		}
+	}
+	dead := 0
+	for _, b := range f.Blocks {
+		if !s.Reachable(b) && len(b.Instrs) > 0 {
+			dead++
+		}
+	}
+	if dead == 0 {
+		t.Fatal("the then-branch (printf) should be unreachable")
+	}
+	if reachCount == 0 {
+		t.Fatal("entry must stay reachable")
+	}
+}

@@ -7,6 +7,14 @@ type Node interface {
 	nodePos() Pos
 }
 
+// NodePos returns n's source position (zero Pos for nil-typed nodes).
+func NodePos(n Node) Pos {
+	if n == nil {
+		return Pos{}
+	}
+	return n.nodePos()
+}
+
 // ---- Types ----
 
 // TypeKind enumerates MiniC types.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/gpurt"
 	"repro/internal/hdfs"
+	"repro/internal/ir"
 	"repro/internal/kv"
 	"repro/internal/perf"
 	"repro/internal/streaming"
@@ -22,6 +23,9 @@ type JobProgram struct {
 	ReduceSrc  string
 	// NumReducers is the job's reduce-task count (0 = map-only).
 	NumReducers int
+	// DisableOpt turns off the SSA optimizer for every stage (-O0);
+	// the zero value optimizes.
+	DisableOpt bool
 }
 
 // CompiledJob is a JobProgram after translation.
@@ -43,7 +47,8 @@ func CompileJob(p JobProgram) (*CompiledJob, error) { return CompileJobProf(p, n
 // CompileJobProf is CompileJob with the translation phases charged to an
 // optional wall-clock profiler.
 func CompileJobProf(p JobProgram, prof *perf.Profiler) (*CompiledJob, error) {
-	mapC, err := compiler.CompileOpts(p.MapSrc, compiler.Options{Prof: prof})
+	copts := compiler.Options{Prof: prof, DisableOpt: p.DisableOpt}
+	mapC, err := compiler.CompileOpts(p.MapSrc, copts)
 	if err != nil {
 		return nil, fmt.Errorf("mr: job %s mapper: %w", p.Name, err)
 	}
@@ -54,7 +59,7 @@ func CompileJobProf(p JobProgram, prof *perf.Profiler) (*CompiledJob, error) {
 		Schema:  mapC.Schema,
 	}
 	if p.CombineSrc != "" {
-		combC, err := compiler.CompileOpts(p.CombineSrc, compiler.Options{Prof: prof})
+		combC, err := compiler.CompileOpts(p.CombineSrc, copts)
 		if err != nil {
 			return nil, fmt.Errorf("mr: job %s combiner: %w", p.Name, err)
 		}
@@ -67,6 +72,11 @@ func CompileJobProf(p JobProgram, prof *perf.Profiler) (*CompiledJob, error) {
 		endR()
 		if err != nil {
 			return nil, fmt.Errorf("mr: job %s reducer: %w", p.Name, err)
+		}
+		if !p.DisableOpt {
+			endOpt := prof.Phase(perf.PhaseOptimize)
+			ir.OptimizeProgram(rf.Prog)
+			endOpt()
 		}
 		cj.ReduceF = rf
 	}

@@ -22,6 +22,8 @@ func TestAttributionCoversInterpreterTime(t *testing.T) {
 	wc := workload.Wordcount()
 	input := wc.Gen(11, 32<<10)
 	prof := perf.New()
+	// JobFor leaves DisableOpt false: the fidelity gate below runs against
+	// the SSA-optimized program, the configuration every backend executes.
 	cj, err := mr.CompileJobProf(wc.JobFor(1), prof)
 	if err != nil {
 		t.Fatal(err)
@@ -67,5 +69,40 @@ func TestAttributionCoversInterpreterTime(t *testing.T) {
 	}
 	if frac := float64(interpInMap) / float64(mapPhase); frac < 0.90 {
 		t.Errorf("interpreter buckets cover %.1f%% of the cpu-map phase, want >= 90%%", 100*frac)
+	}
+}
+
+// TestOptimizePhaseAttributed pins the optimizer's own cost into the
+// phase accounting: compiling a job with profiling must record a non-zero
+// "optimize" phase bucket, and disabling the optimizer must record none —
+// so the hot-path table never hides optimizer time in an anonymous
+// remainder.
+func TestOptimizePhaseAttributed(t *testing.T) {
+	wc := workload.Wordcount()
+
+	prof := perf.New()
+	if _, err := mr.CompileJobProf(wc.JobFor(1), prof); err != nil {
+		t.Fatal(err)
+	}
+	var optNs int64
+	for _, e := range prof.Snapshot().Entries() {
+		if e.Cat == perf.CatPhase && e.Name == perf.PhaseOptimize {
+			optNs += e.Nanos
+		}
+	}
+	if optNs <= 0 {
+		t.Errorf("optimize phase bucket = %dns, want > 0 with optimization enabled", optNs)
+	}
+
+	off := perf.New()
+	job := wc.JobFor(1)
+	job.DisableOpt = true
+	if _, err := mr.CompileJobProf(job, off); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range off.Snapshot().Entries() {
+		if e.Cat == perf.CatPhase && e.Name == perf.PhaseOptimize {
+			t.Errorf("optimize phase recorded %dns with DisableOpt set", e.Nanos)
+		}
 	}
 }

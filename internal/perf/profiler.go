@@ -49,6 +49,7 @@ const (
 	PhaseReduce       = "reduce"
 	PhaseHostCompile  = "host-compile"
 	PhaseGPUTranslate = "gpu-translate"
+	PhaseOptimize     = "optimize"
 	PhaseGPUHost      = "gpu-host"
 	PhaseGPUMap       = "gpu-map-kernel"
 	PhaseGPUSort      = "gpu-sort"

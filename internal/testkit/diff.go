@@ -20,13 +20,18 @@ import (
 
 // Compile translates a generated program into a CompiledJob (both the CPU
 // streaming filters and the GPU kernels — the single-source property).
-func Compile(p Program) (*mr.CompiledJob, error) {
+func Compile(p Program) (*mr.CompiledJob, error) { return CompileOpt(p, false) }
+
+// CompileOpt is Compile with explicit control over the SSA optimizer
+// (disableOpt=true is -O0), for the opt-on/off metamorphic suite.
+func CompileOpt(p Program, disableOpt bool) (*mr.CompiledJob, error) {
 	return mr.CompileJob(mr.JobProgram{
 		Name:        p.Name,
 		MapSrc:      p.MapSrc,
 		CombineSrc:  p.CombineSrc,
 		ReduceSrc:   p.ReduceSrc,
 		NumReducers: p.Reducers,
+		DisableOpt:  disableOpt,
 	})
 }
 

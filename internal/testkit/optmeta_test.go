@@ -1,0 +1,114 @@
+package testkit
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/mr"
+)
+
+// TestOptimizerPreservesReferenceOutput is the optimizer's metamorphic
+// contract over the full differential corpus: for every generated seed, the
+// sequential reference output with the SSA optimizer enabled is
+// byte-identical to -O0. It also checks the optimizer has teeth — across
+// the corpus it must actually rewrite a meaningful fraction of programs.
+func TestOptimizerPreservesReferenceOutput(t *testing.T) {
+	changed := 0
+	for seed := uint64(0); seed < NumDifferentialSeeds; seed++ {
+		p := Generate(seed)
+		plain, err := CompileOpt(p, true)
+		if err != nil {
+			t.Fatalf("seed %d: -O0 compile: %v", seed, err)
+		}
+		opt, err := CompileOpt(p, false)
+		if err != nil {
+			t.Fatalf("seed %d: optimized compile: %v", seed, err)
+		}
+		refPlain, err := Reference(plain, p.Input)
+		if err != nil {
+			t.Fatalf("seed %d: -O0 reference: %v", seed, err)
+		}
+		refOpt, err := Reference(opt, p.Input)
+		if err != nil {
+			t.Fatalf("seed %d: optimized reference: %v", seed, err)
+		}
+		if refPlain != refOpt {
+			t.Fatalf("seed %d: optimization changed the reference output\n-O0:\n%s\nopt:\n%s\nmap source:\n%s",
+				seed, head(refPlain), head(refOpt), p.MapSrc)
+		}
+		if opt.MapC.HostOpt.Changed() || opt.MapC.KernelOpt.Changed() {
+			changed++
+		}
+	}
+	if changed < NumDifferentialSeeds/10 {
+		t.Fatalf("optimizer rewrote only %d/%d generated programs; the metamorphic suite has no teeth",
+			changed, NumDifferentialSeeds)
+	}
+	t.Logf("optimizer rewrote %d/%d generated programs", changed, NumDifferentialSeeds)
+}
+
+// TestOptimizerPreservesClusterOutput runs the full streaming and GPU
+// cluster paths opt-on vs opt-off on the metamorphic subset: every backend
+// must be byte-identical in both modes.
+func TestOptimizerPreservesClusterOutput(t *testing.T) {
+	for seed := uint64(0); seed < NumMetamorphicSeeds; seed++ {
+		p := Generate(seed)
+		plain, err := CompileOpt(p, true)
+		if err != nil {
+			t.Fatalf("seed %d: -O0 compile: %v", seed, err)
+		}
+		opt, err := CompileOpt(p, false)
+		if err != nil {
+			t.Fatalf("seed %d: optimized compile: %v", seed, err)
+		}
+		for _, sched := range []mr.SchedulerKind{mr.CPUOnly, mr.GPUFirst} {
+			o := ClusterOpts{Scheduler: sched, Seed: seed}
+			_, outPlain := mustRun(t, plain, p, o, fmt.Sprintf("-O0 scheduler %v", sched))
+			_, outOpt := mustRun(t, opt, p, o, fmt.Sprintf("optimized scheduler %v", sched))
+			if outPlain != outOpt {
+				t.Fatalf("seed %d: scheduler %v: optimization changed the cluster output\n-O0:\n%s\nopt:\n%s\nmap source:\n%s",
+					seed, sched, head(outPlain), head(outOpt), p.MapSrc)
+			}
+		}
+	}
+}
+
+// TestOptimizerPreservesFaultRecovery re-runs representative recovering
+// fault plans opt-on vs opt-off: recovery re-executes tasks, so every
+// re-executed attempt runs the optimized AST too, and the final output must
+// not depend on the optimizer either way.
+func TestOptimizerPreservesFaultRecovery(t *testing.T) {
+	const faultSeeds = 6
+	for seed := uint64(0); seed < faultSeeds; seed++ {
+		p := Generate(seed)
+		plain, err := CompileOpt(p, true)
+		if err != nil {
+			t.Fatalf("seed %d: -O0 compile: %v", seed, err)
+		}
+		opt, err := CompileOpt(p, false)
+		if err != nil {
+			t.Fatalf("seed %d: optimized compile: %v", seed, err)
+		}
+		clean, _ := mustRun(t, opt, p, ClusterOpts{Scheduler: mr.GPUFirst, Seed: seed}, "clean run")
+		mid := clean.MapPhaseEnd / 2
+		specs := []struct{ name, spec string }{
+			{"crash-restart", fmt.Sprintf("crash(node=1,at=%g,restart=%g)", mid, clean.Makespan)},
+			{"taskfail-gpu", "taskfail(task=0,attempt=0,dev=gpu)"},
+			{"gpu-rate", "gpurate=0.3;seed=9"},
+		}
+		for _, tc := range specs {
+			plan, err := faults.Parse(tc.spec)
+			if err != nil {
+				t.Fatalf("seed %d: plan %s: %v", seed, tc.name, err)
+			}
+			o := ClusterOpts{Scheduler: mr.GPUFirst, Faults: plan, Seed: seed}
+			_, outPlain := mustRun(t, plain, p, o, "-O0 faulted run "+tc.name)
+			_, outOpt := mustRun(t, opt, p, o, "optimized faulted run "+tc.name)
+			if outPlain != outOpt {
+				t.Fatalf("seed %d: fault plan %s: optimization changed the output\n-O0:\n%s\nopt:\n%s",
+					seed, tc.name, head(outPlain), head(outOpt))
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Command detlint is a determinism linter for the simulation engine and
+// its satellites: packages whose outputs must be bit-reproducible across
+// runs and Go releases. It is stdlib-only (go/ast + go/parser) and flags
+// three hazard classes:
+//
+//  1. importing math/rand (seeded or not, stream stability is not
+//     guaranteed across Go releases; the repo uses its own splitmix64),
+//  2. calling time.Now (wall-clock reads make virtual-time runs diverge),
+//  3. ranging over a map (iteration order is randomized) — except the
+//     collect-keys-then-sort idiom, where the loop body is a single
+//     `xs = append(xs, k)` statement.
+//
+// A finding is suppressed by a `//detlint:ignore <reason>` comment on the
+// offending line or the line directly above it.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+)
+
+// finding is one determinism hazard.
+type finding struct {
+	pos  token.Position
+	rule string
+	msg  string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.pos.Filename, f.pos.Line, f.rule, f.msg)
+}
+
+// lintSource parses one Go file and returns its findings.
+func lintSource(name, src string) ([]finding, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	l := &linter{fset: fset, file: file}
+	l.collectIgnores()
+	l.collectTimeName()
+	l.collectMapNames()
+	l.run()
+	return l.findings, nil
+}
+
+type linter struct {
+	fset     *token.FileSet
+	file     *ast.File
+	findings []finding
+
+	// ignores maps line numbers carrying a detlint:ignore comment.
+	ignores map[int]bool
+	// timeName is the local import name of the "time" package ("" if not
+	// imported).
+	timeName string
+	// mapNames are identifiers (variables and struct field names) with
+	// file-local syntactic evidence of a map type.
+	mapNames map[string]bool
+}
+
+func (l *linter) report(pos token.Pos, rule, msg string) {
+	p := l.fset.Position(pos)
+	if l.ignores[p.Line] || l.ignores[p.Line-1] {
+		return
+	}
+	l.findings = append(l.findings, finding{pos: p, rule: rule, msg: msg})
+}
+
+func (l *linter) collectIgnores() {
+	l.ignores = map[int]bool{}
+	for _, cg := range l.file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if strings.HasPrefix(text, "detlint:ignore") {
+				l.ignores[l.fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+}
+
+func (l *linter) collectTimeName() {
+	for _, imp := range l.file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != "time" {
+			continue
+		}
+		l.timeName = "time"
+		if imp.Name != nil {
+			l.timeName = imp.Name.Name
+		}
+	}
+}
+
+// collectMapNames gathers identifiers with syntactic map-type evidence:
+// `var x map[...]`, `x := make(map[...]...)`, `x := map[...]{...}`, struct
+// fields and function parameters/results declared with a map type.
+func (l *linter) collectMapNames() {
+	l.mapNames = map[string]bool{}
+	isMapType := func(e ast.Expr) bool {
+		_, ok := e.(*ast.MapType)
+		return ok
+	}
+	isMapExpr := func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.CallExpr:
+			if fn, ok := x.Fun.(*ast.Ident); ok && fn.Name == "make" && len(x.Args) >= 1 {
+				return isMapType(x.Args[0])
+			}
+		case *ast.CompositeLit:
+			return x.Type != nil && isMapType(x.Type)
+		}
+		return false
+	}
+	addField := func(f *ast.Field) {
+		if !isMapType(f.Type) {
+			return
+		}
+		for _, n := range f.Names {
+			l.mapNames[n.Name] = true
+		}
+	}
+	ast.Inspect(l.file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ValueSpec:
+			if x.Type != nil && isMapType(x.Type) {
+				for _, id := range x.Names {
+					l.mapNames[id.Name] = true
+				}
+			}
+			for i, v := range x.Values {
+				if i < len(x.Names) && isMapExpr(v) {
+					l.mapNames[x.Names[i].Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if i < len(x.Lhs) && isMapExpr(rhs) {
+					if id, ok := x.Lhs[i].(*ast.Ident); ok {
+						l.mapNames[id.Name] = true
+					}
+				}
+			}
+		case *ast.StructType:
+			if x.Fields != nil {
+				for _, f := range x.Fields.List {
+					addField(f)
+				}
+			}
+		case *ast.FuncType:
+			if x.Params != nil {
+				for _, f := range x.Params.List {
+					addField(f)
+				}
+			}
+			if x.Results != nil {
+				for _, f := range x.Results.List {
+					addField(f)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (l *linter) run() {
+	for _, imp := range l.file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path == "math/rand" || path == "math/rand/v2" {
+			l.report(imp.Pos(), "rand-import",
+				"math/rand streams are not stable across Go releases; use the repo's seeded splitmix64")
+		}
+	}
+	ast.Inspect(l.file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Now" {
+				if id, ok := sel.X.(*ast.Ident); ok && l.timeName != "" && id.Name == l.timeName {
+					l.report(x.Pos(), "time-now",
+						"wall-clock read in a virtual-time package; thread the simulated clock instead")
+				}
+			}
+		case *ast.RangeStmt:
+			if l.rangesOverMap(x.X) && !isCollectKeysBody(x.Body) {
+				l.report(x.Pos(), "map-iteration",
+					"map iteration order is randomized; collect keys and sort, or iterate a sorted slice")
+			}
+		}
+		return true
+	})
+}
+
+// rangesOverMap reports whether e has file-local evidence of being a map:
+// a known map identifier, or a selector whose field name is a known map
+// field.
+func (l *linter) rangesOverMap(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return l.mapNames[x.Name]
+	case *ast.SelectorExpr:
+		return l.mapNames[x.Sel.Name]
+	}
+	return false
+}
+
+// isCollectKeysBody recognizes the allowed idiom: a body consisting of a
+// single `xs = append(xs, expr)` statement (keys are collected, then sorted
+// outside the loop).
+func isCollectKeysBody(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) != 1 {
+		return false
+	}
+	as, ok := body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	return ok && fn.Name == "append"
+}

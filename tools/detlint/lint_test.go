@@ -1,0 +1,147 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintOK(t *testing.T, src string) []finding {
+	t.Helper()
+	fs, err := lintSource("test.go", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fs
+}
+
+func TestFlagsMathRandImport(t *testing.T) {
+	fs := lintOK(t, `package p
+import "math/rand"
+var _ = rand.Int
+`)
+	if len(fs) != 1 || fs[0].rule != "rand-import" {
+		t.Fatalf("want one rand-import finding, got %v", fs)
+	}
+}
+
+func TestFlagsTimeNow(t *testing.T) {
+	fs := lintOK(t, `package p
+import "time"
+func f() int64 { return time.Now().UnixNano() }
+`)
+	if len(fs) != 1 || fs[0].rule != "time-now" {
+		t.Fatalf("want one time-now finding, got %v", fs)
+	}
+}
+
+func TestRenamedTimeImportStillFlagged(t *testing.T) {
+	fs := lintOK(t, `package p
+import clock "time"
+func f() clock.Time { return clock.Now() }
+`)
+	if len(fs) != 1 || fs[0].rule != "time-now" {
+		t.Fatalf("want one time-now finding, got %v", fs)
+	}
+}
+
+func TestOtherNowCallsNotFlagged(t *testing.T) {
+	fs := lintOK(t, `package p
+type clock struct{}
+func (clock) Now() int64 { return 0 }
+func f(c clock) int64 { return c.Now() }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("method Now on a non-time receiver should pass, got %v", fs)
+	}
+}
+
+func TestFlagsMapRange(t *testing.T) {
+	fs := lintOK(t, `package p
+import "fmt"
+func f() {
+	m := map[string]int{}
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`)
+	if len(fs) != 1 || fs[0].rule != "map-iteration" {
+		t.Fatalf("want one map-iteration finding, got %v", fs)
+	}
+}
+
+func TestFlagsStructFieldMapRange(t *testing.T) {
+	fs := lintOK(t, `package p
+import "fmt"
+type s struct{ series map[string]int }
+func f(x *s) {
+	for k := range x.series {
+		fmt.Println(k)
+	}
+}
+`)
+	if len(fs) != 1 || fs[0].rule != "map-iteration" {
+		t.Fatalf("want one map-iteration finding, got %v", fs)
+	}
+}
+
+func TestCollectKeysSortIdiomAllowed(t *testing.T) {
+	fs := lintOK(t, `package p
+import "sort"
+func f(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("collect-keys-sort idiom should pass, got %v", fs)
+	}
+}
+
+func TestSliceRangeNotFlagged(t *testing.T) {
+	fs := lintOK(t, `package p
+import "fmt"
+func f(xs []int) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("slice range should pass, got %v", fs)
+	}
+}
+
+func TestIgnoreCommentSuppresses(t *testing.T) {
+	fs := lintOK(t, `package p
+import "fmt"
+func f(m map[string]int) {
+	n := 0
+	//detlint:ignore order-independent summation
+	for _, v := range m {
+		n += v
+	}
+	fmt.Println(n)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("ignore comment should suppress, got %v", fs)
+	}
+}
+
+func TestFindingFormat(t *testing.T) {
+	fs := lintOK(t, `package p
+import "math/rand"
+var _ = rand.Int
+`)
+	if len(fs) != 1 {
+		t.Fatalf("want one finding, got %v", fs)
+	}
+	if got := fs[0].String(); !strings.HasPrefix(got, "test.go:2: rand-import:") {
+		t.Fatalf("finding format = %q", got)
+	}
+}

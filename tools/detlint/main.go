@@ -1,0 +1,54 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Usage: detlint dir [dir ...]
+//
+// Lints every non-test .go file under the given directories (recursively)
+// and exits 1 when any determinism hazard is found.
+func main() {
+	flag.Parse()
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: detlint dir [dir ...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range dirs {
+		err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if info.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			findings, err := lintSource(path, string(data))
+			if err != nil {
+				return fmt.Errorf("parse %s: %w", path, err)
+			}
+			for _, f := range findings {
+				fmt.Println(f.String())
+				bad++
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			os.Exit(2)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", bad)
+		os.Exit(1)
+	}
+}
