@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/mr"
+	"repro/internal/streaming"
+	"repro/internal/workload"
+)
+
+// runVMReport measures every built-in benchmark's map stage on both
+// execution cores — the register-bytecode VM (default) and the AST
+// tree-walker (-novm) — and prints the per-benchmark speedup table that
+// EXPERIMENTS.md records. The map stage is pure interpretation (one
+// sequential pass over the whole input, no cluster simulation around it),
+// so the ratio isolates the cost of executing MiniC itself.
+func runVMReport(w io.Writer, seed uint64, inputKB int) error {
+	fmt.Fprintf(w, "%-4s %-18s %14s %14s %9s\n", "code", "benchmark", "walker ns/op", "vm ns/op", "speedup")
+	for _, b := range workload.All() {
+		input := b.Gen(seed, inputKB<<10)
+		vmJob := b.JobFor(1)
+		walkJob := b.JobFor(1)
+		walkJob.DisableVM = true
+		vm, err := mr.CompileJob(vmJob)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Code, err)
+		}
+		walk, err := mr.CompileJob(walkJob)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Code, err)
+		}
+		walkNs, err := timeFilter(walk.MapF, input)
+		if err != nil {
+			return fmt.Errorf("%s: tree-walker: %w", b.Code, err)
+		}
+		vmNs, err := timeFilter(vm.MapF, input)
+		if err != nil {
+			return fmt.Errorf("%s: vm: %w", b.Code, err)
+		}
+		fmt.Fprintf(w, "%-4s %-18s %14d %14d %8.2fx\n",
+			b.Code, b.Name, walkNs, vmNs, float64(walkNs)/float64(vmNs))
+	}
+	return nil
+}
+
+// timeFilter runs one streaming filter over the input until at least
+// minDuration has elapsed (after one warm-up pass) and returns ns per run.
+func timeFilter(f *streaming.Filter, input []byte) (int64, error) {
+	const minDuration = 300 * time.Millisecond
+	if _, _, err := f.Run(input); err != nil {
+		return 0, err
+	}
+	var runs int64
+	start := time.Now()
+	for time.Since(start) < minDuration {
+		if _, _, err := f.Run(input); err != nil {
+			return 0, err
+		}
+		runs++
+	}
+	return time.Since(start).Nanoseconds() / runs, nil
+}

@@ -7,6 +7,7 @@
 //
 //	hdcc [-plan] [-lint] [file.c]   (reads stdin when no file is given)
 //	hdcc -demo                      (compiles the paper's Listing 1 wordcount)
+//	hdcc -dump-bytecode file.c      (prints the register-bytecode disassembly)
 //
 // With -lint, the static-analysis suite runs alongside compilation and its
 // diagnostics print to stderr; error-severity findings exit 2 (the kernel
@@ -21,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/analysis"
+	"repro/internal/bytecode"
 	"repro/internal/compiler"
 	"repro/internal/workload"
 )
@@ -29,6 +31,7 @@ func main() {
 	plan := flag.Bool("plan", false, "print the variable classification plan")
 	demo := flag.Bool("demo", false, "compile the built-in wordcount mapper (paper Listing 1)")
 	lint := flag.Bool("lint", false, "run the static-analysis suite and print diagnostics to stderr")
+	dumpBC := flag.Bool("dump-bytecode", false, "print the register-bytecode disassembly of the host program and kernel fragments instead of CUDA")
 	flag.Parse()
 
 	var src, file string
@@ -54,6 +57,10 @@ func main() {
 	compiled, err := compiler.CompileOpts(src, compiler.Options{Analyze: *lint, File: file})
 	if err != nil {
 		fatal(err)
+	}
+	if *dumpBC {
+		dumpBytecode(compiled)
+		return
 	}
 	fmt.Print(compiled.CUDA)
 	if *plan {
@@ -81,6 +88,28 @@ func main() {
 		if analysis.HasErrors(compiled.Diagnostics) {
 			os.Exit(2)
 		}
+	}
+}
+
+// dumpBytecode prints the register-bytecode disassembly of everything the
+// compiler lowered: the host program and the GPU kernel fragments.
+func dumpBytecode(compiled *compiler.Compiled) {
+	sections := []struct {
+		title string
+		prog  *bytecode.Program
+	}{
+		{"host program", compiled.VM},
+		{"mapper kernel condition", compiled.KernelCond},
+		{"mapper kernel body", compiled.KernelBody},
+		{"combiner kernel region", compiled.KernelRegion},
+	}
+	for _, s := range sections {
+		if s.prog == nil {
+			continue
+		}
+		fmt.Printf("== %s ==\n", s.title)
+		fmt.Print(bytecode.Disassemble(s.prog))
+		fmt.Println()
 	}
 }
 

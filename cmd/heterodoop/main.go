@@ -40,6 +40,7 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
 	metricsPath := flag.String("metrics", "", "write a Prometheus-style metrics dump to this file")
+	novm := flag.Bool("novm", false, "disable the register-bytecode VM and interpret the AST (tree-walker)")
 	hdprof := flag.Bool("hdprof", false, "profile the run's wall-clock cost and print the hot-path report")
 	profTop := flag.Int("prof-top", 15, "rows in the -hdprof hot-path table")
 	profFolded := flag.String("prof-folded", "", "write -hdprof folded-stack flamegraph lines to this file")
@@ -80,6 +81,7 @@ func main() {
 	job, err := core.CompileJobProfiled(core.JobSources{
 		Name: prog.Name, Map: prog.MapSrc, Combine: prog.CombineSrc,
 		Reduce: prog.ReduceSrc, Reducers: prog.NumReducers,
+		DisableVM: *novm,
 	}, prof)
 	if err != nil {
 		fatal(err)

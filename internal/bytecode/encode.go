@@ -1,0 +1,52 @@
+package bytecode
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Instruction-stream codec. Each instruction encodes to a fixed 17-byte
+// record: one opcode byte and four little-endian int32 operands. The
+// pools (constants, types, symbols) hold Go pointers into the checked
+// AST, so whole-program serialization is out of scope; the codec covers
+// the flat code arrays for caching, diffing, and fuzzing the verifier.
+
+const instrSize = 1 + 4*4
+
+// EncodeInstrs serializes an instruction sequence.
+func EncodeInstrs(code []Instr) []byte {
+	buf := make([]byte, 0, len(code)*instrSize)
+	var w [instrSize]byte
+	for _, in := range code {
+		w[0] = byte(in.Op)
+		binary.LittleEndian.PutUint32(w[1:], uint32(in.A))
+		binary.LittleEndian.PutUint32(w[5:], uint32(in.B))
+		binary.LittleEndian.PutUint32(w[9:], uint32(in.C))
+		binary.LittleEndian.PutUint32(w[13:], uint32(in.D))
+		buf = append(buf, w[:]...)
+	}
+	return buf
+}
+
+// DecodeInstrs parses an encoded instruction stream. It rejects trailing
+// bytes and unknown opcodes; operand range checking is VerifyCode's job.
+func DecodeInstrs(data []byte) ([]Instr, error) {
+	if len(data)%instrSize != 0 {
+		return nil, fmt.Errorf("bytecode: stream length %d is not a multiple of %d", len(data), instrSize)
+	}
+	code := make([]Instr, 0, len(data)/instrSize)
+	for off := 0; off < len(data); off += instrSize {
+		op := Op(data[off])
+		if op >= opCount {
+			return nil, fmt.Errorf("bytecode: invalid opcode %d at offset %d", op, off)
+		}
+		code = append(code, Instr{
+			Op: op,
+			A:  int32(binary.LittleEndian.Uint32(data[off+1:])),
+			B:  int32(binary.LittleEndian.Uint32(data[off+5:])),
+			C:  int32(binary.LittleEndian.Uint32(data[off+9:])),
+			D:  int32(binary.LittleEndian.Uint32(data[off+13:])),
+		})
+	}
+	return code, nil
+}

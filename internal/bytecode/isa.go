@@ -1,0 +1,273 @@
+// Package bytecode compiles MiniC (via the internal/ir SSA form) into a
+// register-based bytecode and executes it on a tight switch-dispatch VM.
+//
+// The VM is the default execution core for all three backends (sequential
+// interpreter, streaming CPU path, GPU kernel executor). It is an exact
+// drop-in for the tree-walking interpreter: output bytes, cost-model
+// totals (ops/loads/stores per memory space), statement step counts, and
+// error strings all match, because goldens for simulated time and
+// deterministic GPU scheduling were recorded against the walker. The
+// walker remains available (-novm) as the differential oracle.
+//
+// Everything stateful — object memory, globals, string literals, the
+// builtin table, cost charging, the step budget — stays in an
+// interp.Machine; the bytecode layer only replaces the AST walk.
+package bytecode
+
+import (
+	"repro/internal/interp"
+	"repro/internal/minic"
+)
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// Opcodes. Operand meaning is per-opcode (A..D are int32):
+//
+//	charge  A=ops B=steps      batched cost.Op / step-budget charge
+//	jmp     A=target
+//	br      A=cond B=true C=false
+//	ret     A=src              return ConvertFor(fn.Ret, r[A]); terminated
+//	ret.z   -                  fall-off return: raw zero value
+//	const   A=dst B=const#     r[A] = consts[B]
+//	move    A=dst B=src
+//	zero    A=dst              r[A] = Value{}
+//	bool    A=dst B=src        r[A] = Truthy(r[B]) ? 1 : 0
+//	add.i.. A=dst B=l C=r      typed fast path; both-int guard, else
+//	                           interp.ApplyBinary fallback
+//	add.f.. A=dst B=l C=r      both-float guard, else fallback
+//	bin     A=dst B=l C=r D=op# always interp.ApplyBinary (pointer cases)
+//	neg/not/bnot A=dst B=src
+//	addn    A=dst B=src C=delta r[A] = interp.AddInt(r[B], C)
+//	cvt     A=dst B=src C=type# r[A] = ConvertFor(types[C], r[B])
+//	load.v  A=dst B=varreg C=sym#  register read + Load cost charge
+//	store.v A=varreg B=src C=sym#  ConvertFor(sym type) + Store charge
+//	load.o  A=dst B=objref     scalar object read (cell 0) + Load charge
+//	store.o A=objref B=src     scalar object store via Machine.StorePtr
+//	addr.o  A=dst B=objref     r[A] = pointer to object (array decay, &x)
+//	alloc   A=slot B=spec# C=init-reg|-1  fresh object for a declarator
+//	load.p  A=dst B=ptr D=chk  bounds-checked load; D=1 adds deref check
+//	store.p A=ptr B=src D=chk  bounds-checked store; D=1 adds lvalue check
+//	chk.p   A=dst B=src        store-through null/non-pointer check
+//	idx     A=dst B=idx C=base D=stride  region-array subscript pointer
+//	str     A=dst B=str#       interned string literal pointer
+//	stdio   A=dst B=str#       stdin/stdout/stderr handle
+//	arg     A=src              push call argument
+//	call    A=dst B=callee# C=argc
+//
+// An objref encodes where an object lives: ref >= 0 is a program-global
+// symbol index resolved once per VM; ref < 0 is frame object slot
+// (-ref - 1), populated by alloc, parameter binding, or (for GPU
+// fragments) the host before execution.
+const (
+	OpNop Op = iota
+	OpCharge
+	OpJmp
+	OpBr
+	OpRet
+	OpRetZ
+	OpConst
+	OpMove
+	OpZero
+	OpBool
+	OpAddI
+	OpSubI
+	OpMulI
+	OpDivI
+	OpModI
+	OpAndI
+	OpOrI
+	OpXorI
+	OpShlI
+	OpShrI
+	OpEqI
+	OpNeI
+	OpLtI
+	OpLeI
+	OpGtI
+	OpGeI
+	OpAddF
+	OpSubF
+	OpMulF
+	OpDivF
+	OpEqF
+	OpNeF
+	OpLtF
+	OpLeF
+	OpGtF
+	OpGeF
+	OpBin
+	OpNeg
+	OpNot
+	OpBnot
+	OpAddN
+	OpCvt
+	OpLoadV
+	OpStoreV
+	OpLoadO
+	OpStoreO
+	OpAddrO
+	OpAlloc
+	OpLoadP
+	OpStoreP
+	OpChkP
+	OpIdx
+	OpStr
+	OpStdio
+	OpArg
+	OpCall
+	opCount
+)
+
+var opNames = [opCount]string{
+	OpNop:    "nop",
+	OpCharge: "charge",
+	OpJmp:    "jmp",
+	OpBr:     "br",
+	OpRet:    "ret",
+	OpRetZ:   "ret.z",
+	OpConst:  "const",
+	OpMove:   "move",
+	OpZero:   "zero",
+	OpBool:   "bool",
+	OpAddI:   "add.i",
+	OpSubI:   "sub.i",
+	OpMulI:   "mul.i",
+	OpDivI:   "div.i",
+	OpModI:   "mod.i",
+	OpAndI:   "and.i",
+	OpOrI:    "or.i",
+	OpXorI:   "xor.i",
+	OpShlI:   "shl.i",
+	OpShrI:   "shr.i",
+	OpEqI:    "eq.i",
+	OpNeI:    "ne.i",
+	OpLtI:    "lt.i",
+	OpLeI:    "le.i",
+	OpGtI:    "gt.i",
+	OpGeI:    "ge.i",
+	OpAddF:   "add.f",
+	OpSubF:   "sub.f",
+	OpMulF:   "mul.f",
+	OpDivF:   "div.f",
+	OpEqF:    "eq.f",
+	OpNeF:    "ne.f",
+	OpLtF:    "lt.f",
+	OpLeF:    "le.f",
+	OpGtF:    "gt.f",
+	OpGeF:    "ge.f",
+	OpBin:    "bin",
+	OpNeg:    "neg",
+	OpNot:    "not",
+	OpBnot:   "bnot",
+	OpAddN:   "addn",
+	OpCvt:    "cvt",
+	OpLoadV:  "load.v",
+	OpStoreV: "store.v",
+	OpLoadO:  "load.o",
+	OpStoreO: "store.o",
+	OpAddrO:  "addr.o",
+	OpAlloc:  "alloc",
+	OpLoadP:  "load.p",
+	OpStoreP: "store.p",
+	OpChkP:   "chk.p",
+	OpIdx:    "idx",
+	OpStr:    "str",
+	OpStdio:  "stdio",
+	OpArg:    "arg",
+	OpCall:   "call",
+}
+
+// Name returns the opcode mnemonic.
+func (op Op) Name() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return "op?"
+}
+
+// Instr is one bytecode instruction. Operand meaning is per-opcode; see
+// the opcode table.
+type Instr struct {
+	Op         Op
+	A, B, C, D int32
+}
+
+// Callee identifies one call target by name and sema builtin marking; the
+// VM resolves it per machine with the interpreter's exact dispatch order.
+type Callee struct {
+	Name    string
+	Builtin bool
+}
+
+// AllocSpec describes the object one alloc instruction creates: the
+// flattened cell count and element type of one declarator.
+type AllocSpec struct {
+	Sym  *minic.Symbol
+	Elem *minic.Type
+	N    int32
+	Name string
+}
+
+// Param binds one function parameter to its frame location: a register for
+// tracked scalars, an object slot for demoted parameters.
+type Param struct {
+	Reg  int32 // register index, or -1
+	Slot int32 // frame object slot, or -1
+	Sym  *minic.Symbol
+	Type *minic.Type
+}
+
+// FreeRef binds one free symbol of a fragment to the frame object slot the
+// host must populate before execution.
+type FreeRef struct {
+	Sym  *minic.Symbol
+	Slot int32
+}
+
+// Fn is one compiled function. A Fallback fn has no code; calls route to
+// the tree-walker via Decl.
+type Fn struct {
+	Name        string
+	Decl        *minic.FuncDecl
+	Ret         *minic.Type
+	NumRegs     int32
+	NumObjSlots int32
+	Params      []Param
+	Code        []Instr
+	// Pos parallels Code; the source position for trap error messages
+	// (zero when the instruction cannot trap).
+	Pos      []minic.Pos
+	Fallback bool
+	// Why records the decline reason for a Fallback fn (diagnostics only).
+	Why string
+}
+
+// Program is a compiled translation unit (or a single kernel fragment)
+// plus the constant pools its instructions index into.
+type Program struct {
+	Consts  []interp.Value
+	Strs    []string
+	Types   []*minic.Type
+	Syms    []*minic.Symbol
+	Allocs  []AllocSpec
+	Ops     []string
+	Callees []Callee
+	Fns     []*Fn
+	// Main indexes Fns, -1 when the program has no main.
+	Main int
+	// Fragment marks a kernel-fragment program: one fn, no params, free
+	// symbols resolved through Free.
+	Fragment bool
+	Free     []FreeRef
+}
+
+// Fn returns the compiled function with the given name, or nil.
+func (p *Program) Fn(name string) *Fn {
+	for _, f := range p.Fns {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}

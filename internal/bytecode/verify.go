@@ -1,0 +1,161 @@
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Bounds describes the pool and frame sizes instruction operands index
+// into, for operand range verification.
+type Bounds struct {
+	NumRegs     int32
+	NumObjSlots int32
+	Consts      int32
+	Strs        int32
+	Types       int32
+	Syms        int32
+	Allocs      int32
+	Ops         int32
+	Callees     int32
+}
+
+// boundsFor derives verification bounds from a program and function.
+func boundsFor(p *Program, fn *Fn) Bounds {
+	return Bounds{
+		NumRegs:     fn.NumRegs,
+		NumObjSlots: fn.NumObjSlots,
+		Consts:      int32(len(p.Consts)),
+		Strs:        int32(len(p.Strs)),
+		Types:       int32(len(p.Types)),
+		Syms:        int32(len(p.Syms)),
+		Allocs:      int32(len(p.Allocs)),
+		Ops:         int32(len(p.Ops)),
+		Callees:     int32(len(p.Callees)),
+	}
+}
+
+// Verify checks every compiled function's code for well-formedness:
+// operand indices inside their pools, registers inside the frame, and
+// jump targets inside the code. The compiler always emits verifiable
+// code; the check guards decoded/fuzzed instruction streams and catches
+// compiler regressions in tests.
+func Verify(p *Program) error {
+	if p.Main >= len(p.Fns) {
+		return fmt.Errorf("bytecode: main index %d out of range", p.Main)
+	}
+	for _, fn := range p.Fns {
+		if fn.Fallback {
+			continue
+		}
+		for _, prm := range fn.Params {
+			if prm.Reg < 0 && prm.Slot < 0 {
+				return fmt.Errorf("bytecode: %s: parameter with no location", fn.Name)
+			}
+			if prm.Reg >= fn.NumRegs || prm.Slot >= fn.NumObjSlots {
+				return fmt.Errorf("bytecode: %s: parameter location out of range", fn.Name)
+			}
+		}
+		if err := VerifyCode(fn.Code, boundsFor(p, fn)); err != nil {
+			return fmt.Errorf("bytecode: %s: %w", fn.Name, err)
+		}
+	}
+	return nil
+}
+
+// VerifyCode checks one instruction sequence against operand bounds.
+func VerifyCode(code []Instr, b Bounds) error {
+	n := int32(len(code))
+	reg := func(r int32) error {
+		if r < 0 || r >= b.NumRegs {
+			return fmt.Errorf("register r%d out of range [0,%d)", r, b.NumRegs)
+		}
+		return nil
+	}
+	target := func(t int32) error {
+		// Branching to n (one past the end) is a valid fall-off exit.
+		if t < 0 || t > n {
+			return fmt.Errorf("jump target %d out of range [0,%d]", t, n)
+		}
+		return nil
+	}
+	idx := func(what string, i, limit int32) error {
+		if i < 0 || i >= limit {
+			return fmt.Errorf("%s index %d out of range [0,%d)", what, i, limit)
+		}
+		return nil
+	}
+	objRef := func(ref int32) error {
+		if ref < 0 {
+			return idx("object slot", -ref-1, b.NumObjSlots)
+		}
+		return idx("symbol", ref, b.Syms)
+	}
+
+	for pc, in := range code {
+		var err error
+		switch in.Op {
+		case OpNop, OpRetZ:
+		case OpCharge:
+			if in.A < 0 || in.B < 0 {
+				err = errors.New("negative charge")
+			}
+		case OpJmp:
+			err = target(in.A)
+		case OpBr:
+			err = firstErr(reg(in.A), target(in.B), target(in.C))
+		case OpRet, OpArg, OpZero:
+			err = reg(in.A)
+		case OpConst:
+			err = firstErr(reg(in.A), idx("const", in.B, b.Consts))
+		case OpMove, OpBool, OpNeg, OpNot, OpBnot, OpChkP:
+			err = firstErr(reg(in.A), reg(in.B))
+		case OpAddI, OpSubI, OpMulI, OpDivI, OpModI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI,
+			OpEqI, OpNeI, OpLtI, OpLeI, OpGtI, OpGeI,
+			OpAddF, OpSubF, OpMulF, OpDivF, OpEqF, OpNeF, OpLtF, OpLeF, OpGtF, OpGeF:
+			err = firstErr(reg(in.A), reg(in.B), reg(in.C))
+		case OpBin:
+			err = firstErr(reg(in.A), reg(in.B), reg(in.C), idx("operator", in.D, b.Ops))
+		case OpAddN:
+			err = firstErr(reg(in.A), reg(in.B))
+		case OpCvt:
+			err = firstErr(reg(in.A), reg(in.B), idx("type", in.C, b.Types))
+		case OpLoadV, OpStoreV:
+			err = firstErr(reg(in.A), reg(in.B), idx("symbol", in.C, b.Syms))
+		case OpLoadO, OpAddrO:
+			err = firstErr(reg(in.A), objRef(in.B))
+		case OpStoreO:
+			err = firstErr(objRef(in.A), reg(in.B))
+		case OpAlloc:
+			err = firstErr(idx("object slot", in.A, b.NumObjSlots), idx("alloc spec", in.B, b.Allocs))
+			if err == nil && in.C >= 0 {
+				err = reg(in.C)
+			}
+		case OpLoadP, OpStoreP:
+			err = firstErr(reg(in.A), reg(in.B))
+		case OpIdx:
+			err = firstErr(reg(in.A), reg(in.B), reg(in.C))
+		case OpStr, OpStdio:
+			err = firstErr(reg(in.A), idx("string", in.B, b.Strs))
+		case OpCall:
+			err = firstErr(reg(in.A), idx("callee", in.B, b.Callees))
+			if err == nil && in.C < 0 {
+				err = errors.New("negative arg count")
+			}
+		default:
+			err = fmt.Errorf("invalid opcode %d", in.Op)
+		}
+		if err != nil {
+			return fmt.Errorf("pc %d (%s): %w", pc, in.Op.Name(), err)
+		}
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/bytecode"
 	"repro/internal/ir"
 	"repro/internal/kv"
 	"repro/internal/minic"
@@ -121,6 +122,16 @@ type Compiled struct {
 	// compilation ran with Options.DisableOpt).
 	HostOpt   *ir.Stats
 	KernelOpt *ir.Stats
+	// VM is the host program lowered to register bytecode — the default
+	// execution core of the streaming path (nil with Options.DisableVM).
+	VM *bytecode.Program
+	// KernelCond / KernelBody are the mapper region's loop condition and
+	// body as bytecode fragments for the GPU kernel executor; KernelRegion
+	// is the combiner region as one fragment. A nil fragment (unsupported
+	// construct, or DisableVM) sends that kernel to the tree-walker.
+	KernelCond   *bytecode.Program
+	KernelBody   *bytecode.Program
+	KernelRegion *bytecode.Program
 }
 
 // Options configures CompileOpts.
@@ -135,6 +146,10 @@ type Options struct {
 	// optimizes: both the host program and the kernel program run the
 	// analysis-driven passes before being handed to the backends.
 	DisableOpt bool
+	// DisableVM turns off the register-bytecode execution core (-novm):
+	// the backends fall back to the AST tree-walker. The zero value
+	// compiles bytecode.
+	DisableVM bool
 	// Prof, when non-nil, charges the host parse and the GPU translation
 	// to wall-clock phase buckets.
 	Prof *perf.Profiler
@@ -185,6 +200,22 @@ func CompileOpts(src string, opts Options) (*Compiled, error) {
 		c.HostOpt = ir.OptimizeProgram(host)
 		c.KernelOpt = ir.OptimizeProgram(spec.Prog)
 		endOpt()
+	}
+	// Lower to register bytecode after optimization (the compiler lowers
+	// whatever AST the backends will execute). Functions or fragments the
+	// bytecode compiler declines stay on the tree-walker per function.
+	if !opts.DisableVM {
+		endBC := opts.Prof.Phase(perf.PhaseBytecodeCompile)
+		c.VM = bytecode.Compile(host)
+		if spec.Kind == RegionMapper {
+			if loop, ok := spec.Region.(*minic.While); ok {
+				c.KernelCond = bytecode.CompileFragmentExpr(loop.Cond)
+				c.KernelBody = bytecode.CompileFragmentStmt(loop.Body)
+			}
+		} else {
+			c.KernelRegion = bytecode.CompileFragmentStmt(spec.Region)
+		}
+		endBC()
 	}
 	return c, nil
 }

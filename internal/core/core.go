@@ -43,6 +43,9 @@ type JobSources struct {
 	Reduce string
 	// Reducers is the reduce-task count; 0 makes the job map-only.
 	Reducers int
+	// DisableVM turns off the register-bytecode execution core (-novm):
+	// every stage interprets the AST instead. The zero value runs the VM.
+	DisableVM bool
 }
 
 // Job is a compiled HeteroDoop job: one source, two targets (CPU
@@ -63,6 +66,7 @@ func CompileJobProfiled(src JobSources, prof *perf.Profiler) (*Job, error) {
 		CombineSrc:  src.Combine,
 		ReduceSrc:   src.Reduce,
 		NumReducers: src.Reducers,
+		DisableVM:   src.DisableVM,
 	}, prof)
 	if err != nil {
 		return nil, err

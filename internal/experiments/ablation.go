@@ -54,7 +54,9 @@ func Ablations(cfg Config) (*AblationResult, error) {
 	}
 	km := workload.Kmeans()
 	input := km.Gen(cfg.Seed, inputBytes)
-	job, err := mr.CompileJobProf(km.JobFor(1), cfg.Prof)
+	kmJob := km.JobFor(1)
+	kmJob.DisableVM = cfg.DisableVM
+	job, err := mr.CompileJobProf(kmJob, cfg.Prof)
 	if err != nil {
 		return nil, err
 	}

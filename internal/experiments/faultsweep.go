@@ -44,11 +44,12 @@ func FaultSweep(cfg Config, custom *faults.Plan) ([]FaultSweepRow, error) {
 	setup.HDFS.BlockSize = 4 << 10
 	bench := workload.Wordcount()
 	job, err := core.CompileJob(core.JobSources{
-		Name:     "wc-faults",
-		Map:      bench.Job.MapSrc,
-		Combine:  bench.Job.CombineSrc,
-		Reduce:   bench.Job.ReduceSrc,
-		Reducers: 3,
+		Name:      "wc-faults",
+		Map:       bench.Job.MapSrc,
+		Combine:   bench.Job.CombineSrc,
+		Reduce:    bench.Job.ReduceSrc,
+		Reducers:  3,
+		DisableVM: cfg.DisableVM,
 	})
 	if err != nil {
 		return nil, err

@@ -53,6 +53,7 @@ func execMapKernelGlobalSteal(dev *gpu.Device, comp *compiler.Compiled, cap *hos
 		}
 		t.cond = loop.Cond
 		t.body = loop.Body
+		t.bindFragmentVMs(comp.KernelCond, comp.KernelBody)
 		t.cost.Op(24)
 		threads = append(threads, t)
 	}
@@ -93,14 +94,14 @@ func execMapKernelGlobalSteal(dev *gpu.Device, comp *compiler.Compiled, cap *hos
 		pick.pending = rec
 		pick.ran = true
 		pick.machine.SetCost(pick.cost)
-		v, err := pick.machine.EvalIn(pick.frame, pick.cond)
+		v, err := pick.evalCond()
 		if err != nil {
 			return nil, err
 		}
 		if !v.Truthy() {
 			return nil, fmt.Errorf("gpurt: map loop refused a granted record")
 		}
-		if _, err := pick.machine.ExecIn(pick.frame, pick.body); err != nil {
+		if err := pick.execBody(); err != nil {
 			return nil, err
 		}
 	}
@@ -112,7 +113,7 @@ func execMapKernelGlobalSteal(dev *gpu.Device, comp *compiler.Compiled, cap *hos
 	for i, t := range threads {
 		if t.ran {
 			t.pending = -1
-			if _, err := t.machine.EvalIn(t.frame, t.cond); err != nil {
+			if _, err := t.evalCond(); err != nil {
 				return nil, err
 			}
 			t.cost.Op(16)

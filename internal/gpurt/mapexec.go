@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/bytecode"
 	"repro/internal/compiler"
 	"repro/internal/gpu"
 	"repro/internal/interp"
@@ -179,8 +180,57 @@ type mapThread struct {
 	cost    *gpu.ThreadCost
 	cond    minic.Expr
 	body    minic.Stmt
+	// condVM / bodyVM execute the region on the bytecode VM when the
+	// kernel fragments compiled; nil pairs fall back to the tree-walker.
+	condVM  *bytecode.FragmentVM
+	bodyVM  *bytecode.FragmentVM
 	pending int // granted record index, -1 = none
 	ran     bool
+}
+
+// evalCond evaluates the region loop condition on the thread's execution
+// core (VM or walker).
+func (t *mapThread) evalCond() (interp.Value, error) {
+	if t.condVM != nil {
+		v, _, err := t.condVM.Run()
+		return v, err
+	}
+	return t.machine.EvalIn(t.frame, t.cond)
+}
+
+// execBody executes the region loop body on the thread's execution core.
+func (t *mapThread) execBody() error {
+	if t.bodyVM != nil {
+		_, _, err := t.bodyVM.Run()
+		return err
+	}
+	_, err := t.machine.ExecIn(t.frame, t.body)
+	return err
+}
+
+// bindFragmentVMs attaches compiled region fragments to the thread,
+// resolving free symbols against the thread frame first and the kernel
+// program's globals second. Both fragments must bind, or the thread stays
+// on the walker (mixing cores would skew the cost accounting).
+func (t *mapThread) bindFragmentVMs(cond, body *bytecode.Program) {
+	if cond == nil || body == nil {
+		return
+	}
+	lookup := func(sym *minic.Symbol) *interp.Object {
+		if obj := t.frame.Object(sym); obj != nil {
+			return obj
+		}
+		return t.machine.GlobalObject(sym)
+	}
+	condVM, err := bytecode.NewFragmentVM(t.machine, cond, lookup)
+	if err != nil {
+		return
+	}
+	bodyVM, err := bytecode.NewFragmentVM(t.machine, body, lookup)
+	if err != nil {
+		return
+	}
+	t.condVM, t.bodyVM = condVM, bodyVM
 }
 
 // MapKernelResult is the outcome of one map kernel launch.
@@ -327,6 +377,7 @@ func runMapBlock(dev *gpu.Device, comp *compiler.Compiled, cap *hostCapture,
 		}
 		t.cond = loop.Cond
 		t.body = loop.Body
+		t.bindFragmentVMs(comp.KernelCond, comp.KernelBody)
 		t.cost.Op(24) // mapSetup overhead
 		return t, nil
 	}
@@ -335,15 +386,14 @@ func runMapBlock(dev *gpu.Device, comp *compiler.Compiled, cap *hostCapture,
 		t.pending = rec
 		t.ran = true
 		t.machine.SetCost(t.cost)
-		v, err := t.machine.EvalIn(t.frame, t.cond)
+		v, err := t.evalCond()
 		if err != nil {
 			return err
 		}
 		if !v.Truthy() {
 			return fmt.Errorf("gpurt: map loop refused a granted record")
 		}
-		_, err = t.machine.ExecIn(t.frame, t.body)
-		return err
+		return t.execBody()
 	}
 
 	lanes := tpb
@@ -408,7 +458,7 @@ func runMapBlock(dev *gpu.Device, comp *compiler.Compiled, cap *hostCapture,
 	for _, t := range threads {
 		if t.ran {
 			t.pending = -1
-			if _, err := t.machine.EvalIn(t.frame, t.cond); err != nil {
+			if _, err := t.evalCond(); err != nil {
 				return 0, gpu.CycleBreakdown{}, 0, err
 			}
 			t.cost.Op(16) // mapFinish bookkeeping

@@ -1,0 +1,101 @@
+package interp
+
+import (
+	"errors"
+
+	"repro/internal/minic"
+	"repro/internal/perf"
+)
+
+// Hooks for the bytecode VM (package bytecode). The VM executes compiled
+// register code but delegates everything stateful — object memory,
+// globals, string literals, the builtin table, cost charging, the step
+// budget — to a Machine, so both execution cores share one runtime and
+// produce identical observable behavior (output bytes, cost totals, step
+// counts, error strings).
+
+// InitGlobals runs file-scope initializers once (idempotent).
+func (m *Machine) InitGlobals() error { return m.initGlobals() }
+
+// AddSteps charges n statement steps against the step budget, returning
+// ErrMaxSteps when the budget is exhausted. The VM batches the per-block
+// statement charges the tree-walker pays one at a time.
+func (m *Machine) AddSteps(n int64) error {
+	m.steps += n
+	if m.steps > m.maxSteps {
+		return ErrMaxSteps
+	}
+	return nil
+}
+
+// SpaceOf returns the memory space a symbol's storage is placed in.
+func (m *Machine) SpaceOf(sym *minic.Symbol) MemSpace { return m.spaceOf(sym) }
+
+// InternLiteral returns the shared object for a string literal.
+func (m *Machine) InternLiteral(s string) *Object { return m.internLiteral(s) }
+
+// Stdio returns the opaque handle object for a stdio stream name.
+func (m *Machine) Stdio(name string) *Object { return m.stdioHandle(name) }
+
+// BuiltinNamed looks up a builtin/intrinsic implementation.
+func (m *Machine) BuiltinNamed(name string) (Builtin, bool) {
+	impl, ok := m.builtins[name]
+	return impl, ok
+}
+
+// CallBuiltin invokes a builtin implementation with profiling attribution
+// when enabled. The caller charges the call-overhead cost.
+func (m *Machine) CallBuiltin(name string, impl Builtin, args []Value) (Value, error) {
+	if m.prof != nil {
+		return m.callBuiltinProfiled(name, impl, args)
+	}
+	return impl(m, args)
+}
+
+// CallDecl invokes a function declaration with pre-built argument values,
+// propagating errors (including exit unwinding) unchanged. The VM uses it
+// to fall back to the tree-walker for functions it declined to compile.
+func (m *Machine) CallDecl(fn *minic.FuncDecl, args []Value) (Value, error) {
+	return m.call(fn, args)
+}
+
+// LoadPtr loads the cell at p with bounds checking and cost charging.
+func (m *Machine) LoadPtr(p Pointer) (Value, error) { return m.load(p) }
+
+// StorePtr stores v into the cell at p with bounds checking, cost
+// charging, and conversion to the object's element type.
+func (m *Machine) StorePtr(p Pointer, v Value) error { return m.store(p, v) }
+
+// Prof returns the machine's profiling collector (nil when off).
+func (m *Machine) Prof() *perf.Collector { return m.prof }
+
+// HasPragmaHook reports whether the machine intercepts mapreduce pragmas
+// (host-capture machines). Such machines must stay on the tree-walker:
+// the bytecode compiler lowers pragma bodies inline.
+func (m *Machine) HasPragmaHook() bool { return m.onPragma != nil }
+
+// ExitStatus unwraps the control-flow error the exit() builtin raises,
+// reporting the exit code and whether err was an exit.
+func ExitStatus(err error) (int, bool) {
+	var ex errExit
+	if errors.As(err, &ex) {
+		return ex.code, true
+	}
+	return 0, false
+}
+
+// ApplyBinary applies a binary operator with the interpreter's exact
+// semantics (pointer arithmetic, float promotion, division-by-zero
+// errors).
+func ApplyBinary(op string, l, r Value) (Value, error) { return applyBinary(op, l, r) }
+
+// AddInt adds an integer delta to a value (used for ++/-- semantics:
+// floats add, pointers advance, integers add without width truncation).
+func AddInt(v Value, d int64) Value { return addInt(v, d) }
+
+// ConvertFor converts v to the storage representation of type t.
+func ConvertFor(t *minic.Type, v Value) Value { return convertFor(t, v) }
+
+// FlattenArray reduces a possibly multi-dimensional array type to a total
+// cell count and scalar element type.
+func FlattenArray(t *minic.Type) (int, *minic.Type) { return flattenArray(t) }

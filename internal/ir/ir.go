@@ -140,6 +140,12 @@ type Block struct {
 	// block, for unreachable-code reporting.
 	Stmts []minic.Stmt
 
+	// Backstep marks a block whose unconditional successor edge is a loop
+	// back-edge that the interpreter charges one extra step for (the
+	// per-iteration steps++ at the bottom of While/For bodies). The
+	// bytecode backend replicates the step-budget accounting from it.
+	Backstep bool
+
 	// Dominator-tree fields, filled by computeDominators.
 	idom     *Block
 	children []*Block
@@ -171,24 +177,36 @@ func (f *Func) VarFor(sym *minic.Symbol) *Var { return f.varOf[sym] }
 
 // lowerer carries the state of one function lowering.
 type lowerer struct {
-	f       *Func
-	cur     *Block
-	stmt    minic.Stmt // statement currently being lowered
-	brk     []*Block
-	cont    []*Block
-	demoted map[*minic.Symbol]bool
+	f    *Func
+	cur  *Block
+	stmt minic.Stmt // statement currently being lowered
+	brk  []*Block
+	cont []*Block
+	// contStep parallels cont: true when a continue edge to the target is
+	// a While back-edge (which the interpreter charges a step for).
+	contStep []bool
+	demoted  map[*minic.Symbol]bool
+	// demoteFn, when non-nil, additionally demotes symbols (fragment
+	// builds demote everything declared outside the fragment).
+	demoteFn func(*minic.Symbol) bool
 }
 
 // Build lowers fn into CFG+SSA form: basic blocks of instructions over
 // tracked scalar variables, minimal phi placement at iterated dominance
 // frontiers, and def-use chains via OpLoad/OpPhi arguments.
-func Build(fn *minic.FuncDecl) *Func {
+func Build(fn *minic.FuncDecl) *Func { return BuildFragment(fn, nil) }
+
+// BuildFragment is Build with an extra demotion predicate: any symbol for
+// which demote returns true is kept untracked (object-backed). The
+// bytecode backend uses it to lower GPU kernel fragments whose free
+// variables live in a host-populated frame rather than SSA registers.
+func BuildFragment(fn *minic.FuncDecl, demote func(*minic.Symbol) bool) *Func {
 	f := &Func{
 		Decl:      fn,
 		varOf:     map[*minic.Symbol]*Var{},
 		ExprInstr: map[minic.Expr]*Instr{},
 	}
-	lw := &lowerer{f: f, demoted: demotedSyms(fn)}
+	lw := &lowerer{f: f, demoted: demotedSyms(fn), demoteFn: demote}
 	lw.cur = lw.newBlock()
 	f.Entry = lw.cur
 
@@ -292,6 +310,9 @@ func (lw *lowerer) trackedVar(sym *minic.Symbol) *Var {
 	if sym == nil || sym.Global || lw.demoted[sym] {
 		return nil
 	}
+	if lw.demoteFn != nil && lw.demoteFn(sym) {
+		return nil
+	}
 	if sym.Kind != minic.SymVar && sym.Kind != minic.SymParam {
 		return nil
 	}
@@ -375,7 +396,7 @@ func (lw *lowerer) lowerStmt(s minic.Stmt) {
 				lw.emit(&Instr{Op: OpDeclZero, Var: v})
 			case d.Init != nil:
 				r := lw.lowerExpr(d.Init)
-				lw.emit(&Instr{Op: OpEffect, Args: []*Instr{r}})
+				lw.emit(&Instr{Op: OpEffect, Args: []*Instr{r}, Decl: d})
 			}
 		}
 	case *minic.ExprStmt:
@@ -413,11 +434,14 @@ func (lw *lowerer) lowerStmt(s minic.Stmt) {
 		edge(head, exit)
 		lw.brk = append(lw.brk, exit)
 		lw.cont = append(lw.cont, header)
+		lw.contStep = append(lw.contStep, true)
 		lw.cur = body
 		lw.lowerStmt(st.Body)
+		lw.cur.Backstep = true
 		edge(lw.cur, header)
 		lw.brk = lw.brk[:len(lw.brk)-1]
 		lw.cont = lw.cont[:len(lw.cont)-1]
+		lw.contStep = lw.contStep[:len(lw.contStep)-1]
 		lw.cur = exit
 	case *minic.For:
 		lw.lowerStmt(st.Init)
@@ -439,6 +463,7 @@ func (lw *lowerer) lowerStmt(s minic.Stmt) {
 		edge(head, exit)
 		lw.brk = append(lw.brk, exit)
 		lw.cont = append(lw.cont, post)
+		lw.contStep = append(lw.contStep, false)
 		lw.cur = body
 		lw.lowerStmt(st.Body)
 		edge(lw.cur, post)
@@ -446,9 +471,11 @@ func (lw *lowerer) lowerStmt(s minic.Stmt) {
 		if st.Post != nil {
 			lw.lowerExpr(st.Post)
 		}
+		lw.cur.Backstep = true
 		edge(lw.cur, header)
 		lw.brk = lw.brk[:len(lw.brk)-1]
 		lw.cont = lw.cont[:len(lw.cont)-1]
+		lw.contStep = lw.contStep[:len(lw.contStep)-1]
 		lw.cur = exit
 	case *minic.Return:
 		if st.X != nil {
@@ -463,6 +490,9 @@ func (lw *lowerer) lowerStmt(s minic.Stmt) {
 		lw.cur = lw.newBlock()
 	case *minic.Continue:
 		if n := len(lw.cont); n > 0 {
+			if lw.contStep[n-1] {
+				lw.cur.Backstep = true
+			}
 			edge(lw.cur, lw.cont[n-1])
 		}
 		lw.cur = lw.newBlock()

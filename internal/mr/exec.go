@@ -3,6 +3,7 @@ package mr
 import (
 	"fmt"
 
+	"repro/internal/bytecode"
 	"repro/internal/compiler"
 	"repro/internal/gpu"
 	"repro/internal/gpurt"
@@ -26,6 +27,9 @@ type JobProgram struct {
 	// DisableOpt turns off the SSA optimizer for every stage (-O0);
 	// the zero value optimizes.
 	DisableOpt bool
+	// DisableVM turns off the register-bytecode execution core for every
+	// stage (-novm); the zero value runs the VM.
+	DisableVM bool
 }
 
 // CompiledJob is a JobProgram after translation.
@@ -47,7 +51,7 @@ func CompileJob(p JobProgram) (*CompiledJob, error) { return CompileJobProf(p, n
 // CompileJobProf is CompileJob with the translation phases charged to an
 // optional wall-clock profiler.
 func CompileJobProf(p JobProgram, prof *perf.Profiler) (*CompiledJob, error) {
-	copts := compiler.Options{Prof: prof, DisableOpt: p.DisableOpt}
+	copts := compiler.Options{Prof: prof, DisableOpt: p.DisableOpt, DisableVM: p.DisableVM}
 	mapC, err := compiler.CompileOpts(p.MapSrc, copts)
 	if err != nil {
 		return nil, fmt.Errorf("mr: job %s mapper: %w", p.Name, err)
@@ -55,7 +59,7 @@ func CompileJobProf(p JobProgram, prof *perf.Profiler) (*CompiledJob, error) {
 	cj := &CompiledJob{
 		Program: p,
 		MapC:    mapC,
-		MapF:    &streaming.Filter{Name: p.Name + "-map", Prog: mapC.HostProg},
+		MapF:    &streaming.Filter{Name: p.Name + "-map", Prog: mapC.HostProg, Code: mapC.VM},
 		Schema:  mapC.Schema,
 	}
 	if p.CombineSrc != "" {
@@ -64,7 +68,7 @@ func CompileJobProf(p JobProgram, prof *perf.Profiler) (*CompiledJob, error) {
 			return nil, fmt.Errorf("mr: job %s combiner: %w", p.Name, err)
 		}
 		cj.CombineC = combC
-		cj.CombineF = &streaming.Filter{Name: p.Name + "-combine", Prog: combC.HostProg}
+		cj.CombineF = &streaming.Filter{Name: p.Name + "-combine", Prog: combC.HostProg, Code: combC.VM}
 	}
 	if p.ReduceSrc != "" {
 		endR := prof.Phase(perf.PhaseHostCompile)
@@ -77,6 +81,11 @@ func CompileJobProf(p JobProgram, prof *perf.Profiler) (*CompiledJob, error) {
 			endOpt := prof.Phase(perf.PhaseOptimize)
 			ir.OptimizeProgram(rf.Prog)
 			endOpt()
+		}
+		if !p.DisableVM {
+			endBC := prof.Phase(perf.PhaseBytecodeCompile)
+			rf.Code = bytecode.Compile(rf.Prog)
+			endBC()
 		}
 		cj.ReduceF = rf
 	}

@@ -1,0 +1,34 @@
+package mr_test
+
+import (
+	"testing"
+
+	"repro/internal/mr"
+	"repro/internal/workload"
+)
+
+// benchMapCore times one benchmark's map stage — a single sequential
+// interpretation pass over the input — on the chosen execution core. These
+// are the microbenchmarks behind the EXPERIMENTS.md VM-vs-AST table
+// (hdbench -vm-report measures the same thing across all benchmarks);
+// LR and BS are the compute-heavy anchors the ≥2x claim is pinned to.
+func benchMapCore(b *testing.B, bench *workload.Benchmark, disableVM bool) {
+	input := bench.Gen(7, 32<<10)
+	job := bench.JobFor(1)
+	job.DisableVM = disableVM
+	cj, err := mr.CompileJob(job)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cj.MapF.Run(input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLRMapVM(b *testing.B)     { benchMapCore(b, workload.LinearRegression(), false) }
+func BenchmarkLRMapWalker(b *testing.B) { benchMapCore(b, workload.LinearRegression(), true) }
+func BenchmarkBSMapVM(b *testing.B)     { benchMapCore(b, workload.BlackScholes(), false) }
+func BenchmarkBSMapWalker(b *testing.B) { benchMapCore(b, workload.BlackScholes(), true) }

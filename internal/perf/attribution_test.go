@@ -72,6 +72,40 @@ func TestAttributionCoversInterpreterTime(t *testing.T) {
 	}
 }
 
+// TestBytecodeCompilePhaseAttributed pins the bytecode compiler's cost
+// into the phase accounting: the default build must record a non-zero
+// "bytecode-compile" phase bucket, and a -novm build must record none —
+// lowering to the VM is only ever charged when the VM will run.
+func TestBytecodeCompilePhaseAttributed(t *testing.T) {
+	wc := workload.Wordcount()
+
+	prof := perf.New()
+	if _, err := mr.CompileJobProf(wc.JobFor(1), prof); err != nil {
+		t.Fatal(err)
+	}
+	var bcNs int64
+	for _, e := range prof.Snapshot().Entries() {
+		if e.Cat == perf.CatPhase && e.Name == perf.PhaseBytecodeCompile {
+			bcNs += e.Nanos
+		}
+	}
+	if bcNs <= 0 {
+		t.Errorf("bytecode-compile phase bucket = %dns, want > 0 with the VM enabled", bcNs)
+	}
+
+	off := perf.New()
+	job := wc.JobFor(1)
+	job.DisableVM = true
+	if _, err := mr.CompileJobProf(job, off); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range off.Snapshot().Entries() {
+		if e.Cat == perf.CatPhase && e.Name == perf.PhaseBytecodeCompile {
+			t.Errorf("bytecode-compile phase recorded %dns with DisableVM set", e.Nanos)
+		}
+	}
+}
+
 // TestOptimizePhaseAttributed pins the optimizer's own cost into the
 // phase accounting: compiling a job with profiling must record a non-zero
 // "optimize" phase bucket, and disabling the optimizer must record none —

@@ -257,7 +257,9 @@ func StealingGranularity(b *testing.B) {
 	b.ReportAllocs()
 	km := workload.Kmeans()
 	input := km.Gen(3, 64<<10)
-	job, err := mr.CompileJob(km.JobFor(1))
+	kmJob := km.JobFor(1)
+	kmJob.DisableVM = Cfg.DisableVM
+	job, err := mr.CompileJob(kmJob)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -37,6 +37,9 @@ const (
 	CatStmt    = "stmt"
 	CatExpr    = "expr"
 	CatBuiltin = "builtin"
+	// CatOpcode buckets hold per-opcode exclusive time from the bytecode
+	// VM's dispatch loop (the register-machine analogue of CatStmt/CatExpr).
+	CatOpcode = "opcode"
 )
 
 // Engine phase names used by the built-in instrumentation, exported so
@@ -50,11 +53,14 @@ const (
 	PhaseHostCompile  = "host-compile"
 	PhaseGPUTranslate = "gpu-translate"
 	PhaseOptimize     = "optimize"
-	PhaseGPUHost      = "gpu-host"
-	PhaseGPUMap       = "gpu-map-kernel"
-	PhaseGPUSort      = "gpu-sort"
-	PhaseGPUCombine   = "gpu-combine-kernel"
-	PhaseGPUOutput    = "gpu-output"
+	// PhaseBytecodeCompile covers lowering optimized IR to register
+	// bytecode (out-of-SSA, register allocation, instruction selection).
+	PhaseBytecodeCompile = "bytecode-compile"
+	PhaseGPUHost         = "gpu-host"
+	PhaseGPUMap          = "gpu-map-kernel"
+	PhaseGPUSort         = "gpu-sort"
+	PhaseGPUCombine      = "gpu-combine-kernel"
+	PhaseGPUOutput       = "gpu-output"
 )
 
 // Key identifies one aggregation bucket: the engine phase the cost accrued

@@ -12,6 +12,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/bytecode"
 	"repro/internal/interp"
 	"repro/internal/kv"
 	"repro/internal/minic"
@@ -60,6 +61,9 @@ func (c CPUModel) SortTime(n, keyBytes int) float64 {
 type Filter struct {
 	Name string
 	Prog *minic.Program
+	// Code is the program lowered to register bytecode; when non-nil the
+	// filter executes on the bytecode VM instead of the AST tree-walker.
+	Code *bytecode.Program
 }
 
 // NewFilter parses and checks a MiniC filter source.
@@ -97,7 +101,13 @@ func (f *Filter) RunCollect(input []byte, col *perf.Collector) (string, *interp.
 		Cost:   sink,
 		Prof:   col,
 	})
-	code, err := m.Run()
+	var code int
+	var err error
+	if f.Code != nil {
+		code, err = bytecode.NewVM(m, f.Code).Run()
+	} else {
+		code, err = m.Run()
+	}
 	if err != nil {
 		return "", nil, fmt.Errorf("streaming: filter %q: %w", f.Name, err)
 	}

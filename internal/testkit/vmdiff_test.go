@@ -1,0 +1,124 @@
+package testkit
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/mr"
+)
+
+// compileBothCores compiles one generated program twice: once on the
+// default register-bytecode VM and once pinned to the AST tree-walker.
+func compileBothCores(t *testing.T, p Program, disableOpt bool) (vm, walker *mr.CompiledJob) {
+	t.Helper()
+	vm, err := CompileVariant(p, disableOpt, false)
+	if err != nil {
+		t.Fatalf("seed %d: VM compile: %v\nmap source:\n%s", p.Seed, err, p.MapSrc)
+	}
+	walker, err = CompileVariant(p, disableOpt, true)
+	if err != nil {
+		t.Fatalf("seed %d: tree-walker compile: %v\nmap source:\n%s", p.Seed, err, p.MapSrc)
+	}
+	return vm, walker
+}
+
+// diffCores fails the test unless the VM and tree-walker runs of one seed
+// produced byte-identical output on every backend.
+func diffCores(t *testing.T, p Program, what string, vm, walker DiffResult) {
+	t.Helper()
+	for _, backend := range []struct{ name, vm, walker string }{
+		{"sequential", vm.Sequential, walker.Sequential},
+		{"streaming", vm.Streaming, walker.Streaming},
+		{"gpu", vm.GPU, walker.GPU},
+	} {
+		if backend.vm != backend.walker {
+			t.Fatalf("seed %d: %s: VM and tree-walker disagree on the %s backend\nvm:\n%s\ntree-walker:\n%s\nmap source:\n%s\ncombine source:\n%s",
+				p.Seed, what, backend.name, head(backend.vm), head(backend.walker), p.MapSrc, p.CombineSrc)
+		}
+	}
+}
+
+// TestVMMatchesTreeWalkerAcrossSeeds pins the execution-core equivalence
+// claim: the register-bytecode VM (the default core) and the AST
+// tree-walker (-novm) must produce byte-identical output for every seed in
+// the generated corpus, on all three backends — sequential, streaming, and
+// GPU. A failing seed reproduces with `go run ./cmd/hdgen -seed N -check`
+// plus `heterodoop -novm` on the same sources.
+func TestVMMatchesTreeWalkerAcrossSeeds(t *testing.T) {
+	for seed := uint64(0); seed < NumDifferentialSeeds; seed++ {
+		p := Generate(seed)
+		vmJob, walkJob := compileBothCores(t, p, false)
+		vmRes, err := RunDifferentialCompiled(vmJob, p)
+		if err != nil {
+			t.Fatalf("seed %d: VM run: %v\nmap source:\n%s", seed, err, p.MapSrc)
+		}
+		walkRes, err := RunDifferentialCompiled(walkJob, p)
+		if err != nil {
+			t.Fatalf("seed %d: tree-walker run: %v\nmap source:\n%s", seed, err, p.MapSrc)
+		}
+		diffCores(t, p, "default build", vmRes, walkRes)
+	}
+}
+
+// TestVMMatchesTreeWalkerUnoptimized is the same equivalence with the SSA
+// optimizer off (-O0): the bytecode compiler must lower the raw AST as
+// faithfully as the optimized one.
+func TestVMMatchesTreeWalkerUnoptimized(t *testing.T) {
+	for seed := uint64(0); seed < NumMetamorphicSeeds; seed++ {
+		p := Generate(seed)
+		vmJob, walkJob := compileBothCores(t, p, true)
+		vmRes, err := RunDifferentialCompiled(vmJob, p)
+		if err != nil {
+			t.Fatalf("seed %d: VM -O0 run: %v\nmap source:\n%s", seed, err, p.MapSrc)
+		}
+		walkRes, err := RunDifferentialCompiled(walkJob, p)
+		if err != nil {
+			t.Fatalf("seed %d: tree-walker -O0 run: %v\nmap source:\n%s", seed, err, p.MapSrc)
+		}
+		diffCores(t, p, "-O0 build", vmRes, walkRes)
+	}
+}
+
+// TestVMMatchesTreeWalkerUnderFaults drives both execution cores through
+// recovering fault plans: re-executed attempts and GPU->CPU fallbacks must
+// not open a gap between the cores. The VM's cost parity with the walker is
+// what keeps the virtual-time schedule — and so the fault injection points —
+// identical between the two runs.
+func TestVMMatchesTreeWalkerUnderFaults(t *testing.T) {
+	const faultSeeds = 6
+	for seed := uint64(0); seed < faultSeeds; seed++ {
+		p := Generate(seed)
+		vmJob, walkJob := compileBothCores(t, p, false)
+		clean, err := RunCluster(vmJob, p.Input, ClusterOpts{Scheduler: mr.GPUFirst, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: clean VM run: %v", seed, err)
+		}
+		mid := clean.MapPhaseEnd / 2
+		specs := []struct{ name, spec string }{
+			{"crash-restart", fmt.Sprintf("crash(node=1,at=%g,restart=%g)", mid, clean.Makespan)},
+			{"hbloss", fmt.Sprintf("hbloss(node=0,at=%g,for=%g)", mid, clean.Makespan)},
+			{"taskfail-gpu", "taskfail(task=0,attempt=0,dev=gpu)"},
+			{"gpu-rate", "gpurate=0.3;seed=9"},
+		}
+		for _, tc := range specs {
+			plan, err := faults.Parse(tc.spec)
+			if err != nil {
+				t.Fatalf("seed %d: plan %s: %v", seed, tc.name, err)
+			}
+			o := ClusterOpts{Scheduler: mr.GPUFirst, Faults: plan, Seed: seed}
+			vmStats, err := RunCluster(vmJob, p.Input, o)
+			if err != nil {
+				t.Fatalf("seed %d: plan %s: VM run: %v", seed, tc.name, err)
+			}
+			walkStats, err := RunCluster(walkJob, p.Input, o)
+			if err != nil {
+				t.Fatalf("seed %d: plan %s: tree-walker run: %v", seed, tc.name, err)
+			}
+			if vmOut, walkOut := TextOutput(vmStats), TextOutput(walkStats); vmOut != walkOut {
+				t.Fatalf("seed %d: fault plan %s (%s): VM and tree-walker disagree\nvm:\n%s\ntree-walker:\n%s\nmap source:\n%s",
+					seed, tc.name, tc.spec, head(vmOut), head(walkOut), p.MapSrc)
+			}
+		}
+	}
+}
