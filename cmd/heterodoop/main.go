@@ -35,7 +35,9 @@ func main() {
 	blockKB := flag.Int("block-kb", 4, "scaled HDFS block size in KB")
 	seed := flag.Uint64("seed", 42, "input generator seed")
 	failRate := flag.Float64("fail", 0, "GPU task failure injection rate")
-	faultSpec := flag.String("faults", "", `fault plan, e.g. "gpurate=0.2; crash(node=1,at=0.01,restart=0.02)" (see faults.Parse)`)
+	faultSpec := flag.String("faults", "", `fault plan, e.g. "gpurate=0.2; crash(node=1,at=0.01,restart=0.02); corrupt(task=0,attempt=0)" (see faults.Parse)`)
+	skipBad := flag.Bool("skip-bad-records", false, "drop poisoned input records instead of failing the job")
+	maxSkipped := flag.Int("max-skipped", 0, "job-wide cap on skipped bad records (0 = engine default)")
 	outLines := flag.Int("out", 10, "output lines to print")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
@@ -110,6 +112,7 @@ func main() {
 	res, err := core.Run(job, input, core.RunOptions{
 		Setup: &setup, Scheduler: scheduler, GPUs: *gpus,
 		GPUFailureRate: *failRate, Faults: plan, Seed: *seed, Obs: rec,
+		SkipBadRecords: *skipBad, MaxSkippedRecords: *maxSkipped,
 		Profile: prof,
 	})
 	if err != nil {
@@ -136,6 +139,13 @@ func main() {
 			s.FailedAttempts, s.LostAttempts, s.GPUFallbacks)
 		fmt.Printf("recovery        : %d nodes lost, %d map outputs re-executed, %d reduces restarted, %d blacklists\n",
 			s.NodesLost, s.MapsReexecuted, s.ReducesRestarted, s.NodeBlacklists)
+	}
+	if s.FetchFailures > 0 || s.CorruptPartitions > 0 || s.RecordsSkipped > 0 {
+		fmt.Printf("data integrity  : %d fetch failures (%d corrupt partitions), %d refetches, %d outputs lost\n",
+			s.FetchFailures, s.CorruptPartitions, s.Refetches, s.MapOutputsLost)
+	}
+	if s.RecordsSkipped > 0 {
+		fmt.Printf("bad records     : %d poisoned records skipped\n", s.RecordsSkipped)
 	}
 	fmt.Printf("phases          : map phase ended %.6fs, shuffle residual %.6fs\n",
 		s.MapPhaseEnd, s.ShuffleResidualSec)

@@ -117,6 +117,11 @@ type RunOptions struct {
 	Faults *faults.Plan
 	// Seed drives placement and failures.
 	Seed uint64
+	// SkipBadRecords turns on Hadoop-style bad-record skipping: poisoned
+	// input records are dropped (and counted) instead of failing the job.
+	SkipBadRecords bool
+	// MaxSkippedRecords bounds skip mode (0 = engine default).
+	MaxSkippedRecords int
 	// Obs, when non-nil, records the run's trace spans and metrics.
 	Obs *obs.Recorder
 	// Profile, when non-nil, receives the run's wall-clock cost profile:
@@ -185,15 +190,17 @@ func Run(job *Job, input []byte, opts RunOptions) (*Result, error) {
 		return nil, err
 	}
 	stats, err := mr.RunJob(mr.ClusterConfig{
-		Name:           job.compiled.Program.Name,
-		Slaves:         setup.Slaves,
-		Node:           setup.Node,
-		Scheduler:      sched,
-		HeartbeatSec:   scaledHeartbeat(setup),
-		GPUFailureRate: opts.GPUFailureRate,
-		Faults:         opts.Faults,
-		Seed:           opts.Seed + 2,
-		Obs:            opts.Obs,
+		Name:              job.compiled.Program.Name,
+		Slaves:            setup.Slaves,
+		Node:              setup.Node,
+		Scheduler:         sched,
+		HeartbeatSec:      scaledHeartbeat(setup),
+		GPUFailureRate:    opts.GPUFailureRate,
+		Faults:            opts.Faults,
+		Seed:              opts.Seed + 2,
+		SkipBadRecords:    opts.SkipBadRecords,
+		MaxSkippedRecords: opts.MaxSkippedRecords,
+		Obs:               opts.Obs,
 	}, exec)
 	if err != nil {
 		return nil, err

@@ -293,3 +293,43 @@ func TestSampleDeterministic(t *testing.T) {
 		t.Fatalf("Fig3 not deterministic: %+v vs %+v", a, b)
 	}
 }
+
+func TestFaultSweepIntegrityRows(t *testing.T) {
+	rows, err := FaultSweep(Config{Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]FaultSweepRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+		if r.Err != "" {
+			t.Errorf("plan %s failed: %s", r.Label, r.Err)
+			continue
+		}
+		if !r.OutputOK {
+			t.Errorf("plan %s produced output differing from its reference", r.Label)
+		}
+	}
+	// The corruption battery must be present and must actually exercise the
+	// integrity machinery, not just complete.
+	corruption := []string{"corrupt-1-part", "corrupt-output", "corrupt-2-tasks",
+		"corrupt-rate-0.05", "fetchfail-2x", "fetchfail-lost", "fetch-rate-0.05", "corrupt+crash"}
+	for _, label := range corruption {
+		r, ok := byLabel[label]
+		if !ok {
+			t.Errorf("sweep is missing the %s plan", label)
+			continue
+		}
+		if r.Err == "" && r.FetchFailures == 0 && r.CorruptPartitions == 0 {
+			t.Errorf("plan %s triggered neither fetch failures nor checksum rejections", label)
+		}
+	}
+	if r, ok := byLabel["skip-bad-records"]; !ok {
+		t.Error("sweep is missing the skip-bad-records row")
+	} else if r.Err == "" && r.RecordsSkipped != 2 {
+		t.Errorf("skip-bad-records row skipped %d records, want 2", r.RecordsSkipped)
+	}
+	if !strings.Contains(FormatFaultSweep(rows), "crpt") {
+		t.Error("formatted sweep is missing the integrity columns")
+	}
+}

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// allKinds walks the Kind space until String() falls through to its default
+// branch, so the list tracks the taxonomy without a hand-maintained table.
+func allKinds(t *testing.T) []Kind {
+	t.Helper()
+	var kinds []Kind
+	for k := Kind(0); ; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			break
+		}
+		kinds = append(kinds, k)
+	}
+	if len(kinds) < 8 {
+		t.Fatalf("found only %d kinds; taxonomy walk broken", len(kinds))
+	}
+	return kinds
+}
+
+// TestKindRoundTrip proves every Kind has a non-default String() and that
+// ParseKind accepts exactly what String() prints, so a new fault kind can't
+// silently miss the -faults CLI surface.
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range allKinds(t) {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("Kind(%d) has default String %q", int(k), s)
+			continue
+		}
+		got, err := ParseKind(s)
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", s, err)
+			continue
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", s, got, k)
+		}
+	}
+}
+
+// TestKindSpecRoundTrip builds a minimal valid -faults call for every Kind
+// using its canonical String() name and demands Parse yields a one-fault
+// plan of that Kind that also passes Validate.
+func TestKindSpecRoundTrip(t *testing.T) {
+	for _, k := range allKinds(t) {
+		var args string
+		if timeScheduled(k) {
+			switch k {
+			case HeartbeatLoss:
+				args = "node=0,at=1,for=2"
+			case Slowdown:
+				args = "node=0,at=1,factor=2"
+			default:
+				args = "node=0,at=1"
+			}
+		} else if k == InputCorrupt {
+			args = "task=0,record=0"
+		} else {
+			args = "task=0"
+		}
+		spec := k.String() + "(" + args + ")"
+		p, err := Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if len(p.Faults) != 1 || p.Faults[0].Kind != k {
+			t.Errorf("Parse(%q) = %+v, want one %v fault", spec, p.Faults, k)
+			continue
+		}
+		if err := p.Validate(4); err != nil {
+			t.Errorf("Validate after Parse(%q): %v", spec, err)
+		}
+	}
+}

@@ -12,6 +12,9 @@ import (
 //	seed=7                                   draw seed
 //	gpurate=0.3                              per-attempt GPU failure rate
 //	cpurate=0.05                             per-attempt CPU failure rate
+//	corruptrate=0.1                          per-(task,attempt,part) output corruption rate
+//	fetchrate=0.2                            per-(task,part,attempt) fetch failure rate
+//	poisonrate=0.01                          per-(task,record) input poison rate
 //	crash(node=1,at=5)                       permanent node crash at t=5
 //	crash(node=1,at=5,restart=10)            crash, restart 10s later
 //	hbloss(node=0,at=2,for=8)                heartbeat loss window
@@ -19,6 +22,10 @@ import (
 //	slow(node=3,at=0,for=100,factor=4)       4x straggler window
 //	taskfail(task=7)                         every attempt of task 7 fails
 //	taskfail(task=7,attempt=0,dev=gpu)       one attempt, GPU path only
+//	corrupt(task=3)                          every partition of task 3's first output
+//	corrupt(task=3,attempt=0,part=1)         one partition of one attempt
+//	fetchfail(task=3,part=0,times=2)         first 2 fetches of the partition fail
+//	poison(task=2,record=5)                  poison record 5 of split 2
 //
 // Whitespace around items is ignored. Times are virtual seconds.
 func Parse(spec string) (*Plan, error) {
@@ -59,6 +66,24 @@ func Parse(spec string) (*Plan, error) {
 				return nil, err
 			}
 			p.CPUFailureRate = r
+		case "corruptrate":
+			r, err := parseRate(val)
+			if err != nil {
+				return nil, err
+			}
+			p.CorruptRate = r
+		case "fetchrate":
+			r, err := parseRate(val)
+			if err != nil {
+				return nil, err
+			}
+			p.FetchFailRate = r
+		case "poisonrate":
+			r, err := parseRate(val)
+			if err != nil {
+				return nil, err
+			}
+			p.PoisonRate = r
 		default:
 			return nil, fmt.Errorf("faults: unknown setting %q", key)
 		}
@@ -85,21 +110,12 @@ func parseRate(s string) (float64, error) {
 
 // parseFault builds one Fault from a call item.
 func parseFault(name, args string) (Fault, error) {
-	f := Fault{Task: -1, Attempt: -1, Node: -1}
-	switch name {
-	case "crash":
-		f.Kind = NodeCrash
-	case "hbloss":
-		f.Kind = HeartbeatLoss
-	case "retire":
-		f.Kind = GPURetire
-	case "slow":
-		f.Kind = Slowdown
-	case "taskfail":
-		f.Kind = TaskFail
-	default:
-		return f, fmt.Errorf("faults: unknown fault kind %q", name)
+	f := Fault{Task: -1, Attempt: -1, Node: -1, Part: -1, Record: -1, Times: 1}
+	kind, err := ParseKind(name)
+	if err != nil {
+		return f, err
 	}
+	f.Kind = kind
 	for _, arg := range strings.Split(args, ",") {
 		arg = strings.TrimSpace(arg)
 		if arg == "" {
@@ -126,6 +142,12 @@ func parseFault(name, args string) (Fault, error) {
 			f.Task, err = strconv.Atoi(val)
 		case "attempt":
 			f.Attempt, err = strconv.Atoi(val)
+		case "part":
+			f.Part, err = strconv.Atoi(val)
+		case "record":
+			f.Record, err = strconv.Atoi(val)
+		case "times":
+			f.Times, err = strconv.Atoi(val)
 		case "dev":
 			switch val {
 			case "any":
@@ -144,11 +166,14 @@ func parseFault(name, args string) (Fault, error) {
 			return f, fmt.Errorf("faults: %s: bad argument %q: %v", name, arg, err)
 		}
 	}
-	if f.Kind != TaskFail && f.Node < 0 {
+	if timeScheduled(f.Kind) && f.Node < 0 {
 		return f, fmt.Errorf("faults: %s needs node=", name)
 	}
-	if f.Kind == TaskFail && f.Task < 0 {
-		return f, fmt.Errorf("faults: taskfail needs task=")
+	if !timeScheduled(f.Kind) && f.Task < 0 {
+		return f, fmt.Errorf("faults: %s needs task=", name)
+	}
+	if f.Kind == InputCorrupt && f.Record < 0 {
+		return f, fmt.Errorf("faults: %s needs record=", name)
 	}
 	return f, nil
 }

@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -39,24 +40,36 @@ func RunJob(cfg ClusterConfig, exec Executor) (*JobStats, error) {
 	if err := plan.Validate(cfg.Slaves); err != nil {
 		return nil, err
 	}
+	// Push the integrity settings into executors that read real input, and
+	// borrow the executor's schema-aware checksum for verify-on-fetch.
+	if ic, ok := exec.(integrityConfigurable); ok {
+		ic.ConfigureIntegrity(IntegrityConfig{
+			Plan:              plan,
+			SkipBadRecords:    cfg.SkipBadRecords,
+			MaxSkippedRecords: cfg.MaxSkippedRecords,
+		})
+	}
 	splits := exec.NumSplits()
 	e := &engine{
-		cfg:        cfg,
-		exec:       exec,
-		eng:        sim.NewEngine(),
-		plan:       plan,
-		stats:      &JobStats{},
-		jt:         newJobTracker(cfg, exec),
-		slaves:     make([]*taskTracker, cfg.Slaves),
-		attempts:   map[int][]*attemptRun{},
-		splitDone:  make([]bool, splits),
-		speculated: map[int]bool{},
-		attemptSeq: make([]int, splits),
-		failCount:  make([]int, splits),
-		gpuDemoted: make([]bool, splits),
-		mapHost:    make([]int, splits),
-		reduceRuns: map[int]*reduceRun{},
+		cfg:           cfg,
+		exec:          exec,
+		eng:           sim.NewEngine(),
+		plan:          plan,
+		stats:         &JobStats{},
+		jt:            newJobTracker(cfg, exec),
+		slaves:        make([]*taskTracker, cfg.Slaves),
+		attempts:      map[int][]*attemptRun{},
+		splitDone:     make([]bool, splits),
+		speculated:    map[int]bool{},
+		attemptSeq:    make([]int, splits),
+		failCount:     make([]int, splits),
+		gpuDemoted:    make([]bool, splits),
+		mapHost:       make([]int, splits),
+		commitAttempt: make([]int, splits),
+		skippedBy:     make([]int, splits),
+		reduceRuns:    map[int]*reduceRun{},
 	}
+	e.summer, _ = exec.(partitionSummer)
 	for i := range e.mapHost {
 		e.mapHost[i] = -1
 	}
@@ -142,6 +155,16 @@ type engine struct {
 	failCount  []int  // failed attempts per split (MaxTaskAttempts cap)
 	gpuDemoted []bool // split prefers the CPU path after a GPU failure
 	mapHost    []int  // node holding the committed map output, -1 if none
+	// commitAttempt records which attempt id produced the committed map
+	// output (keys the per-attempt corruption draws, so a re-executed map
+	// draws fresh and recovery converges).
+	commitAttempt []int
+	// skippedBy is the committed attempt's skipped-record count per split
+	// (set, not added, so re-execution never double-counts).
+	skippedBy []int
+	// summer recomputes partition checksums on fetch; nil for executors
+	// without materialized output, which makes verification vacuous.
+	summer partitionSummer
 	// reduceRuns tracks the live attempt per reduce partition so node
 	// death can cancel and restart it.
 	reduceRuns      map[int]*reduceRun
@@ -177,6 +200,11 @@ type engineMetrics struct {
 	gpuFallbacks *obs.Counter
 	faultsTotal  *obs.Counter
 	redRestarts  *obs.Counter
+	fetchFails   *obs.Counter
+	corruptParts *obs.Counter
+	refetches    *obs.Counter
+	outputsLost  *obs.Counter
+	recSkipped   *obs.Counter
 	registry     *obs.Registry
 }
 
@@ -207,6 +235,11 @@ func (e *engine) initObs() {
 		gpuFallbacks: reg.Counter("mr_gpu_fallbacks_total", "Splits demoted from GPU to CPU", sched),
 		faultsTotal:  reg.Counter("mr_faults_injected_total", "Scheduled faults applied", sched),
 		redRestarts:  reg.Counter("mr_reduces_restarted_total", "Reduce attempts restarted after node death", sched),
+		fetchFails:   reg.Counter("mr_fetch_failures_total", "Reducer map-output fetches that failed or miscompared", sched),
+		corruptParts: reg.Counter("mr_corrupt_partitions_total", "Fetches rejected by checksum verification", sched),
+		refetches:    reg.Counter("mr_refetches_total", "Fetch retries beyond the first attempt", sched),
+		outputsLost:  reg.Counter("mr_map_outputs_lost_total", "Map outputs declared lost after fetch-failure reports", sched),
+		recSkipped:   reg.Counter("mr_records_skipped_total", "Poisoned input records dropped in skip-bad-records mode", sched),
 		registry:     reg,
 	}
 	for n := 0; n < e.cfg.Slaves; n++ {
@@ -270,6 +303,10 @@ type jobTracker struct {
 	// while any reducer has not, a dead node's committed map outputs must
 	// be re-executed (Hadoop map-output-loss semantics).
 	reduceFetched []bool
+	// fetchReports counts fetch-failure notifications per map output; at
+	// FetchFailureNotices the output is declared lost. Reset when the map
+	// recommits.
+	fetchReports []int
 	// lastMapDone is when the map phase ended (gates reducers).
 	lastMapDone sim.Time
 }
@@ -288,6 +325,7 @@ func newJobTracker(cfg ClusterConfig, exec Executor) *jobTracker {
 		reduceOut:       make([][]kv.Pair, exec.NumReducers()),
 		reducesAssigned: make([]bool, exec.NumReducers()),
 		reduceFetched:   make([]bool, exec.NumReducers()),
+		fetchReports:    make([]int, exec.NumSplits()),
 		maxSpeedup:      1,
 	}
 	for i := 0; i < jt.totalMaps; i++ {
@@ -423,11 +461,19 @@ func (tt *taskTracker) slowdown(now sim.Time) float64 {
 }
 
 // reduceRun is the live attempt of one reduce partition. ev is whatever
-// event currently drives it (the maps-done gate poll or the completion).
+// event currently drives it (the maps-done gate poll, a fetch retry
+// backoff, or the completion).
 type reduceRun struct {
 	p  int
 	tt *taskTracker
 	ev *sim.Event
+	// Shuffle fetch state: next is the map output being fetched, burst the
+	// consecutive failures of that fetch (reset on success and after each
+	// report), and fetchAttempt the monotonic per-map fetch counter keying
+	// the transient-failure draws.
+	next         int
+	burst        int
+	fetchAttempt []int
 }
 
 func (tt *taskTracker) observe(duration float64, onGPU bool) {
@@ -864,6 +910,12 @@ func (e *engine) startAttempt(tt *taskTracker, split int, onGPU, speculative boo
 	}
 	attempt, err := e.exec.MapTask(split, onGPU, tt.node)
 	if err != nil {
+		if errors.Is(err, faults.ErrBadRecord) {
+			// Poisoned input with skip-bad-records off. The poison draw is
+			// deterministic, so every retry would crash identically.
+			e.fail(&JobFailure{Kind: FailBadRecord, Task: split, Node: tt.node, Cause: err})
+			return
+		}
 		e.fail(fmt.Errorf("mr: map task %d on node %d: %w", split, tt.node, err))
 		return
 	}
@@ -913,6 +965,7 @@ func (e *engine) startAttempt(tt *taskTracker, split int, onGPU, speculative boo
 				e.drainGPUQueue(o.tt)
 			}
 			delete(e.attempts, split)
+			e.commitAttempt[split] = attemptID
 			e.completeMap(tt, split, onGPU, speculative, duration, attempt)
 		}
 		e.drainGPUQueue(tt)
@@ -1069,8 +1122,30 @@ func (e *engine) completeMap(tt *taskTracker, split int, onGPU, speculative bool
 	jt := e.jt
 	jt.mapResults[split] = attempt
 	e.mapHost[split] = tt.node
+	jt.fetchReports[split] = 0 // a fresh commit clears stale reports
 	jt.mapsDone++
 	jt.lastMapDone = e.eng.Now()
+	if attempt.SkippedRecords > 0 {
+		// Set, not add: a re-executed map re-reads the same poisoned
+		// records, so its skips replace the previous commit's.
+		e.skippedBy[split] = attempt.SkippedRecords
+		e.trace.Instant(obs.CatRecovery, "records-skipped", e.eng.Now(), tt.node, laneHeartbeat,
+			obs.Int("split", split), obs.Int("skipped", attempt.SkippedRecords))
+		total := 0
+		for _, n := range e.skippedBy {
+			total += n
+		}
+		if total > e.cfg.MaxSkippedRecords {
+			e.fail(&JobFailure{
+				Kind:     FailSkipLimitExceeded,
+				Task:     split,
+				Node:     tt.node,
+				Attempts: total,
+				Cause:    faults.ErrBadRecord,
+			})
+			return
+		}
+	}
 	tt.observe(duration, onGPU)
 	e.recordMapSpan(tt, split, onGPU, speculative, duration, "won")
 	if onGPU {
@@ -1129,14 +1204,18 @@ func (e *engine) recordKernelDetail(tt *taskTracker, duration float64, d *GPUAtt
 
 // launchReduce models one reduce task: shuffle overlaps the map phase, and
 // the task finishes compute-time after both its shuffle and the last map
-// are done.
+// are done. Each map output is fetched with checksum verification; failed
+// or corrupt fetches retry with capped exponential backoff and report to
+// the JobTracker, which declares the output lost — re-executing the map —
+// once enough reports accumulate (Hadoop "too many fetch failures").
 func (e *engine) launchReduce(tt *taskTracker, p int) {
 	assign := e.eng.Now()
 	run := &reduceRun{p: p, tt: tt}
 	e.reduceRuns[p] = run
 	// The reduce executes functionally when all map inputs exist; defer
 	// the work until the map phase completes by polling on map completion
-	// via a gate event.
+	// via a gate event. The same poll covers outputs re-executing after
+	// fetch-failure declarations mid-shuffle.
 	var gate func()
 	gate = func() {
 		if e.err != nil || e.reduceRuns[p] != run {
@@ -1145,6 +1224,62 @@ func (e *engine) launchReduce(tt *taskTracker, p int) {
 		}
 		if e.jt.mapsDone < e.jt.totalMaps {
 			run.ev = e.eng.After(sim.Duration(e.cfg.HeartbeatSec), gate)
+			return
+		}
+		// Fetch each committed map output in order, verifying checksums.
+		// The clean path completes every fetch instantly within this event;
+		// only failures consume virtual time (backoff) or defer to the gate
+		// poll (output re-executing).
+		for run.next < e.jt.totalMaps {
+			m := run.next
+			if !e.splitDone[m] {
+				// Declared lost after an earlier report; wait for recommit.
+				run.ev = e.eng.After(sim.Duration(e.cfg.HeartbeatSec), gate)
+				return
+			}
+			if run.fetchAttempt == nil {
+				run.fetchAttempt = make([]int, e.jt.totalMaps)
+			}
+			att := run.fetchAttempt[m]
+			run.fetchAttempt[m]++
+			if att > 0 {
+				e.stats.Refetches++
+				e.met.refetches.Inc()
+			}
+			failed := e.plan.FetchFails(m, p, att)
+			corrupt := false
+			if !failed {
+				corrupt = e.verifyFetch(p, m)
+			}
+			if !failed && !corrupt {
+				run.next++
+				run.burst = 0
+				continue
+			}
+			e.stats.FetchFailures++
+			e.met.fetchFails.Inc()
+			name := "fetch-fail"
+			if corrupt {
+				name = "corrupt-partition"
+				e.stats.CorruptPartitions++
+				e.met.corruptParts.Inc()
+			}
+			e.trace.Instant(obs.CatFault, name, e.eng.Now(), tt.node, laneHeartbeat,
+				obs.Int("map", m), obs.Int("partition", p), obs.Int("attempt", att))
+			run.burst++
+			if run.burst >= e.cfg.FetchRetries {
+				run.burst = 0
+				e.reportFetchFailure(run, m)
+				if e.err != nil {
+					return
+				}
+			}
+			// Capped exponential backoff before the retry.
+			backoff := e.cfg.FetchBackoffSec
+			for i := 0; i < att && i < 5; i++ {
+				backoff *= 2
+			}
+			run.ev = e.eng.After(sim.Duration(backoff), gate)
 			return
 		}
 		e.jt.reduceFetched[p] = true
@@ -1195,6 +1330,71 @@ func (e *engine) launchReduce(tt *taskTracker, p int) {
 	gate()
 }
 
+// verifyFetch checks partition p of map m's committed output on fetch:
+// first the plan's deterministic corruption draw (keyed by the committed
+// attempt id, so a re-executed map draws fresh), then the real checksum —
+// the executor recomputes the partition's CRC and compares it against the
+// sum stored at commit time (checksum-on-write + verify-on-fetch).
+func (e *engine) verifyFetch(p, m int) bool {
+	res := &e.jt.mapResults[m]
+	if e.plan.PartitionCorrupt(m, e.commitAttempt[m], p) {
+		return true
+	}
+	if e.summer == nil || res.PartitionSums == nil || p >= len(res.PartitionSums) {
+		return false
+	}
+	var part []kv.Pair
+	if p < len(res.Partitions) {
+		part = res.Partitions[p]
+	}
+	return e.summer.PartitionSum(part) != res.PartitionSums[p]
+}
+
+// reportFetchFailure delivers one reducer's fetch-failure notification for
+// map m to the JobTracker. At FetchFailureNotices notifications the output
+// is declared lost: the map re-executes (through the PR-4 recovery path)
+// and the serving node takes a failure toward blacklisting. A permanently
+// corrupt task exhausts MaxTaskAttempts and fails the job.
+func (e *engine) reportFetchFailure(run *reduceRun, m int) {
+	if !e.splitDone[m] {
+		return // already declared lost by another reducer's report
+	}
+	jt := e.jt
+	jt.fetchReports[m]++
+	e.trace.Instant(obs.CatRecovery, "fetch-failure-report", e.eng.Now(), run.tt.node, laneHeartbeat,
+		obs.Int("map", m), obs.Int("partition", run.p), obs.Int("reports", jt.fetchReports[m]))
+	if jt.fetchReports[m] < e.cfg.FetchFailureNotices {
+		return
+	}
+	jt.fetchReports[m] = 0
+	serving := e.mapHost[m]
+	e.failCount[m]++
+	if e.failCount[m] >= e.cfg.MaxTaskAttempts {
+		e.fail(&JobFailure{
+			Kind:     FailTaskAttemptsExhausted,
+			Task:     m,
+			Node:     serving,
+			Attempts: e.failCount[m],
+			Cause:    faults.ErrCorruptOutput,
+		})
+		return
+	}
+	e.splitDone[m] = false
+	e.mapHost[m] = -1
+	jt.mapResults[m] = MapAttempt{}
+	jt.mapsDone--
+	jt.requeue(m)
+	e.stats.MapOutputsLost++
+	e.met.outputsLost.Inc()
+	e.stats.MapsReexecuted++
+	e.met.mapsReexec.Inc()
+	e.trace.Instant(obs.CatRecovery, "map-output-lost", e.eng.Now(), serving, laneHeartbeat,
+		obs.Int("split", m), obs.Str("cause", "fetch-failures"))
+	if serving >= 0 {
+		e.noteNodeFailure(e.slaves[serving])
+	}
+}
+
 func (e *engine) finishJob() {
 	e.finish = e.eng.Now()
 	e.eng.Halt()
@@ -1209,6 +1409,12 @@ func (e *engine) fail(err error) {
 
 // collectOutput assembles the job's functional output.
 func (e *engine) collectOutput() {
+	for _, n := range e.skippedBy {
+		e.stats.RecordsSkipped += n
+	}
+	if e.stats.RecordsSkipped > 0 {
+		e.met.recSkipped.Add(float64(e.stats.RecordsSkipped))
+	}
 	if e.cpuDurN > 0 {
 		e.stats.MapTimeCPU = e.cpuDurSum / float64(e.cpuDurN)
 	}

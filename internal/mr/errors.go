@@ -15,6 +15,14 @@ const (
 	// FailStalled: the simulation drained its event queue with work still
 	// outstanding (a scheduling bug or an adversarial fault plan).
 	FailStalled
+	// FailBadRecord: a map attempt hit a poisoned input record with
+	// skip-bad-records mode off. The poison is deterministic, so every
+	// retry would crash identically; the engine fails fast instead of
+	// burning MaxTaskAttempts identical attempts.
+	FailBadRecord
+	// FailSkipLimitExceeded: skip-bad-records mode dropped more than
+	// MaxSkippedRecords poisoned records.
+	FailSkipLimitExceeded
 )
 
 func (k FailureKind) String() string {
@@ -25,6 +33,10 @@ func (k FailureKind) String() string {
 		return "cluster-dead"
 	case FailStalled:
 		return "stalled"
+	case FailBadRecord:
+		return "bad-record"
+	case FailSkipLimitExceeded:
+		return "skip-limit-exceeded"
 	default:
 		return fmt.Sprintf("FailureKind(%d)", int(k))
 	}
@@ -47,6 +59,12 @@ func (f *JobFailure) Error() string {
 			f.Task, f.Attempts, f.Node, f.Cause)
 	case FailClusterDead:
 		return "mr: job failed: every TaskTracker is dead and none will restart"
+	case FailBadRecord:
+		return fmt.Sprintf("mr: job failed: map task %d read a poisoned record (skip-bad-records off): %v",
+			f.Task, f.Cause)
+	case FailSkipLimitExceeded:
+		return fmt.Sprintf("mr: job failed: skipped %d bad records, over the job's skip limit: %v",
+			f.Attempts, f.Cause)
 	default:
 		return fmt.Sprintf("mr: job failed (%v): %v", f.Kind, f.Cause)
 	}

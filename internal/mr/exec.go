@@ -5,12 +5,14 @@ import (
 
 	"repro/internal/bytecode"
 	"repro/internal/compiler"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/gpurt"
 	"repro/internal/hdfs"
 	"repro/internal/ir"
 	"repro/internal/kv"
 	"repro/internal/perf"
+	"repro/internal/seqfile"
 	"repro/internal/streaming"
 )
 
@@ -119,6 +121,9 @@ type FunctionalExecutor struct {
 	// cache memoizes per-(split, device, local) attempts so re-runs and
 	// retries are cheap and deterministic.
 	cache map[mapKey]MapAttempt
+	// integ is the engine-pushed data-integrity config: the fault plan's
+	// input poisoning plus the skip-bad-records policy.
+	integ IntegrityConfig
 }
 
 type mapKey struct {
@@ -149,6 +154,62 @@ func (x *FunctionalExecutor) NumReducers() int { return x.Job.Program.NumReducer
 // Locations implements Executor.
 func (x *FunctionalExecutor) Locations(split int) []int { return x.Splits[split].Locations }
 
+// ConfigureIntegrity implements the engine's optional integrity extension.
+// The memo cache is reset because poisoning changes what a split's attempt
+// produces.
+func (x *FunctionalExecutor) ConfigureIntegrity(cfg IntegrityConfig) {
+	x.integ = cfg
+	x.cache = map[mapKey]MapAttempt{}
+}
+
+// PartitionSum implements the engine's verify-on-fetch extension: the CRC32
+// of the partition under the job's KV schema, matching the sum stored at
+// commit time.
+func (x *FunctionalExecutor) PartitionSum(pairs []kv.Pair) uint32 {
+	return seqfile.PartitionSum(x.Job.Schema, pairs)
+}
+
+// prunePoisoned applies the plan's input poisoning to a split's records
+// (newline-delimited, split-relative indices — LineRecordReader semantics).
+// With skip-bad-records on, poisoned lines are dropped and counted; with it
+// off, the first poisoned line kills the attempt with ErrBadRecord.
+func (x *FunctionalExecutor) prunePoisoned(split int, input []byte) ([]byte, int, error) {
+	plan := x.integ.Plan
+	if !plan.Poisons() {
+		return input, 0, nil
+	}
+	var out []byte
+	skipped := 0
+	rec := 0
+	for start := 0; start < len(input); rec++ {
+		end := start
+		for end < len(input) && input[end] != '\n' {
+			end++
+		}
+		if end < len(input) {
+			end++ // keep the newline with its record
+		}
+		if plan.RecordPoisoned(split, rec) {
+			if !x.integ.SkipBadRecords {
+				return nil, 0, fmt.Errorf("mr: map task %d record %d: %w", split, rec, faults.ErrBadRecord)
+			}
+			if skipped == 0 {
+				// First poison: copy the clean prefix; the common
+				// poison-free case stays zero-copy.
+				out = append(out, input[:start]...)
+			}
+			skipped++
+		} else if skipped > 0 {
+			out = append(out, input[start:end]...)
+		}
+		start = end
+	}
+	if skipped == 0 {
+		return input, 0, nil
+	}
+	return out, skipped, nil
+}
+
 // MapTask implements Executor.
 func (x *FunctionalExecutor) MapTask(split int, onGPU bool, node int) (MapAttempt, error) {
 	sp := x.Splits[split]
@@ -157,6 +218,10 @@ func (x *FunctionalExecutor) MapTask(split int, onGPU bool, node int) (MapAttemp
 		return attempt, nil
 	}
 	input, err := x.FS.ReadSplit(sp)
+	if err != nil {
+		return MapAttempt{}, err
+	}
+	input, skipped, err := x.prunePoisoned(split, input)
 	if err != nil {
 		return MapAttempt{}, err
 	}
@@ -203,6 +268,16 @@ func (x *FunctionalExecutor) MapTask(split int, onGPU bool, node int) (MapAttemp
 			MapOutput:   res.MapOutput,
 			OutputBytes: res.OutputBytes,
 		}
+	}
+	attempt.SkippedRecords = skipped
+	if attempt.Partitions != nil {
+		// Checksum-on-write: one CRC per partition, computed once per
+		// cached attempt. Reducers verify on fetch.
+		sums := make([]uint32, len(attempt.Partitions))
+		for p, part := range attempt.Partitions {
+			sums[p] = seqfile.PartitionSum(x.Job.Schema, part)
+		}
+		attempt.PartitionSums = sums
 	}
 	x.cache[key] = attempt
 	return attempt, nil

@@ -97,6 +97,25 @@ type ClusterConfig struct {
 	// BlacklistBackoffSec is the first blacklist duration; it doubles with
 	// each further blacklisting of the node. Default 4 heartbeats.
 	BlacklistBackoffSec float64
+	// FetchRetries is how many consecutive failures of one map-output fetch
+	// a reducer tolerates before reporting the output to the JobTracker
+	// (Hadoop's shuffle retry burst). The reducer keeps retrying with
+	// capped exponential backoff either way. Default 3.
+	FetchRetries int
+	// FetchBackoffSec is the base delay between fetch retries; it doubles
+	// per consecutive failure up to 32x. Default HeartbeatSec/4.
+	FetchBackoffSec float64
+	// FetchFailureNotices is how many fetch-failure reports a map output
+	// accumulates before the JobTracker declares it lost and re-executes
+	// the map (Hadoop's "too many fetch failures"). Default 3.
+	FetchFailureNotices int
+	// SkipBadRecords opts the job into Hadoop's skip-bad-records mode:
+	// poisoned input records are dropped (and accounted in JobStats)
+	// instead of crashing the map attempt.
+	SkipBadRecords bool
+	// MaxSkippedRecords bounds the skips a job may accumulate before it is
+	// failed with FailSkipLimitExceeded. Default 64.
+	MaxSkippedRecords int
 	// SpeculativeExecution enables backup attempts for straggling map
 	// tasks on idle slots once the pending queue drains. The paper's runs
 	// disable it (Table 3); this reproduction implements it as an
@@ -136,6 +155,18 @@ func (c *ClusterConfig) fillDefaults() {
 	if c.BlacklistBackoffSec == 0 {
 		c.BlacklistBackoffSec = 4 * c.HeartbeatSec
 	}
+	if c.FetchRetries == 0 {
+		c.FetchRetries = 3
+	}
+	if c.FetchBackoffSec == 0 {
+		c.FetchBackoffSec = c.HeartbeatSec / 4
+	}
+	if c.FetchFailureNotices == 0 {
+		c.FetchFailureNotices = 3
+	}
+	if c.MaxSkippedRecords == 0 {
+		c.MaxSkippedRecords = 64
+	}
 }
 
 // Validate checks the configuration.
@@ -165,6 +196,14 @@ type MapAttempt struct {
 	MapOutput []kv.Pair
 	// OutputBytes sizes the intermediate output for the shuffle model.
 	OutputBytes int64
+	// PartitionSums holds one CRC32 per reduce partition, computed once
+	// when the attempt's output is materialized (checksum-on-write).
+	// Reducers recompute and compare on fetch. Nil for timing-only
+	// executors, which makes checksum verification vacuous.
+	PartitionSums []uint32
+	// SkippedRecords counts poisoned input records this attempt dropped in
+	// skip-bad-records mode.
+	SkippedRecords int
 	// GPU carries the device-side breakdown of a GPU attempt (nil for CPU
 	// attempts and for executors that only replay timings).
 	GPU *GPUAttemptDetail
@@ -199,6 +238,29 @@ type Executor interface {
 	MapTask(split int, onGPU bool, node int) (MapAttempt, error)
 	// ReduceTask executes reduce task p over the collected inputs.
 	ReduceTask(p int, inputs [][]kv.Pair) (ReduceWork, error)
+}
+
+// IntegrityConfig carries the data-integrity settings RunJob pushes into an
+// executor before the job starts: the normalized fault plan (for input
+// poisoning) and the skip-bad-records policy.
+type IntegrityConfig struct {
+	Plan              *faults.Plan
+	SkipBadRecords    bool
+	MaxSkippedRecords int
+}
+
+// integrityConfigurable is the optional Executor extension for input
+// poisoning and skip-bad-records. Executors that don't read real input
+// (timing-only replays, test fakes) simply don't implement it.
+type integrityConfigurable interface {
+	ConfigureIntegrity(IntegrityConfig)
+}
+
+// partitionSummer is the optional Executor extension the engine uses to
+// recompute a partition's checksum on fetch (verify-on-fetch). Only the
+// executor knows the job's KV schema, so the engine delegates the CRC.
+type partitionSummer interface {
+	PartitionSum(pairs []kv.Pair) uint32
 }
 
 // JobStats summarizes a completed job.
@@ -250,4 +312,19 @@ type JobStats struct {
 	// ReducesRestarted counts reduce attempts restarted after their host
 	// died.
 	ReducesRestarted int
+	// FetchFailures counts reducer fetch attempts that failed (transient
+	// fetch faults plus checksum mismatches).
+	FetchFailures int
+	// CorruptPartitions counts fetches rejected by checksum verification.
+	CorruptPartitions int
+	// Refetches counts fetch retries (attempts beyond the first per
+	// reducer/map-output pair).
+	Refetches int
+	// MapOutputsLost counts map outputs the JobTracker declared lost after
+	// accumulating too many fetch-failure reports (each one re-executes
+	// the map, also counted in MapsReexecuted).
+	MapOutputsLost int
+	// RecordsSkipped counts poisoned input records dropped across the job
+	// in skip-bad-records mode (exact: one per poisoned record read).
+	RecordsSkipped int
 }

@@ -65,6 +65,72 @@ func TestBlacklistBackoffExpiryReadmission(t *testing.T) {
 	}
 }
 
+// TestCorruptOutputOnCrashingOnlyNode: task 0's first output is corrupt
+// AND the only node crashes (and restarts) early in the reduce phase,
+// while reducers are rejecting that output and reporting fetch failures
+// against it. The crash wipes every committed output through the node-loss
+// path while the fetch-failure path is mid-escalation; the stale reports
+// must not count against the re-executed attempt, and the job must
+// converge to the clean output.
+func TestCorruptOutputOnCrashingOnlyNode(t *testing.T) {
+	clean, err := runWC1Slave(t, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashAt := clean.MapPhaseEnd + 0.5*(clean.Makespan-clean.MapPhaseEnd)
+	plan := &faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.MapOutputCorrupt, Task: 0, Attempt: 0, Part: -1},
+		{Kind: faults.NodeCrash, Node: 0, At: crashAt, RestartAfter: 0.3 * clean.Makespan},
+	}}
+	stats, err := runWC1Slave(t, plan)
+	if err != nil {
+		t.Fatalf("job did not recover from corruption racing a crash of the serving node: %v", err)
+	}
+	if stats.CorruptPartitions == 0 {
+		t.Error("corrupt first attempt was never rejected by checksum verification")
+	}
+	if stats.NodesLost == 0 {
+		t.Error("crash was never detected as a lost node")
+	}
+	if stats.MapsReexecuted == 0 {
+		t.Error("neither loss path re-executed any map output")
+	}
+	if !reflect.DeepEqual(outputCounts(stats), outputCounts(clean)) {
+		t.Error("output after corruption+crash differs from the clean run")
+	}
+}
+
+// TestFetchReportsRaceReexecution: on a multi-node cluster, every reducer
+// rejects task 2's corrupt first output and files fetch-failure reports
+// while a crash-and-restart takes out a node mid-map-phase. Reports filed
+// against an output that a concurrent loss already un-committed must be
+// dropped (not charged to the fresh attempt), or the healthy re-execution
+// would be declared lost again and the job could burn its attempt cap.
+func TestFetchReportsRaceReexecution(t *testing.T) {
+	clean, err := runWCFaulted(t, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.MapOutputCorrupt, Task: 2, Attempt: 0, Part: -1},
+		{Kind: faults.NodeCrash, Node: 1, At: 0.9 * clean.MapPhaseEnd,
+			RestartAfter: 0.4 * clean.Makespan},
+	}}
+	stats, err := runWCFaulted(t, plan)
+	if err != nil {
+		t.Fatalf("job did not survive fetch reports racing re-execution: %v", err)
+	}
+	if stats.FetchFailures == 0 {
+		t.Error("corrupt output produced no fetch failures")
+	}
+	if stats.MapsReexecuted == 0 {
+		t.Error("no map output was re-executed")
+	}
+	if !reflect.DeepEqual(stats.Output, clean.Output) {
+		t.Error("output after the report/re-execution race differs from the clean run")
+	}
+}
+
 // TestGPUDemotionSurvivesNodeRestart: task 0's GPU attempts always fail,
 // so the JobTracker demotes the task to the CPU; then the node crashes and
 // restarts, losing every map output. The demotion decision lives on the

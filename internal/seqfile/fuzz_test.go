@@ -1,0 +1,71 @@
+package seqfile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/kv"
+)
+
+// FuzzSeqfileReader feeds mutated byte streams through the reader: every
+// input must end in a structural error wrapping ErrCorrupt or a clean EOF —
+// never a panic and never an allocation beyond the per-record length cap.
+func FuzzSeqfileReader(f *testing.F) {
+	seed := func(schema kv.Schema, pairs []kv.Pair) []byte {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, schema)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range pairs {
+			if err := w.Append(p); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	wordSchema := kv.Schema{KeyKind: kv.Bytes, ValKind: kv.Int, KeyLen: 16}
+	valid := seed(wordSchema, []kv.Pair{
+		{Key: kv.StringValue("hello"), Val: kv.IntValue(1)},
+		{Key: kv.StringValue("world"), Val: kv.IntValue(2)},
+	})
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-7]) // cut into the trailer
+	f.Add(seed(kv.Schema{KeyKind: kv.Int, ValKind: kv.Float}, []kv.Pair{
+		{Key: kv.IntValue(-3), Val: kv.FloatValue(2.5)},
+	}))
+	f.Add(seed(wordSchema, nil))
+	flipped := append([]byte(nil), valid...)
+	flipped[20] ^= 0xFF
+	f.Add(flipped)
+	f.Add([]byte("SEQH"))
+	f.Add([]byte("NOTSEQFILE"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("NewReader error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("Next error does not wrap ErrCorrupt: %v", err)
+				}
+				return
+			}
+		}
+	})
+}

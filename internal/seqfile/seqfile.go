@@ -100,15 +100,20 @@ type Reader struct {
 	done   bool
 }
 
-// NewReader validates the header and returns a Reader.
+// NewReader validates the header and returns a Reader. All structural
+// header failures (short header, bad magic, unknown schema kind) wrap
+// ErrCorrupt so callers can match corruption with one errors.Is check.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var hdr [6]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("seqfile: short header: %w", err)
+		return nil, fmt.Errorf("%w: short header: %w", ErrCorrupt, err)
 	}
 	if hdr[0] != magic[0] || hdr[1] != magic[1] || hdr[2] != magic[2] || hdr[3] != magic[3] {
-		return nil, fmt.Errorf("seqfile: bad magic %q", hdr[0:4])
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[0:4])
+	}
+	if kv.Kind(hdr[4]) > kv.Float || kv.Kind(hdr[5]) > kv.Float {
+		return nil, fmt.Errorf("%w: unknown schema kinds %d/%d", ErrCorrupt, hdr[4], hdr[5])
 	}
 	schema := kv.Schema{KeyKind: kv.Kind(hdr[4]), ValKind: kv.Kind(hdr[5])}
 	return &Reader{r: br, schema: schema}, nil
@@ -125,13 +130,13 @@ func (r *Reader) Next() (kv.Pair, error) {
 	}
 	var lenBuf [8]byte
 	if _, err := io.ReadFull(r.r, lenBuf[:4]); err != nil {
-		return kv.Pair{}, fmt.Errorf("seqfile: truncated record: %w", err)
+		return kv.Pair{}, fmt.Errorf("%w: truncated record: %w", ErrCorrupt, err)
 	}
 	if lenBuf[0] == 0xFF && lenBuf[1] == 0xFF && lenBuf[2] == 0xFF && lenBuf[3] == 0xFF {
 		// Trailer.
 		var cnt [8]byte
 		if _, err := io.ReadFull(r.r, cnt[:]); err != nil {
-			return kv.Pair{}, fmt.Errorf("seqfile: truncated trailer: %w", err)
+			return kv.Pair{}, fmt.Errorf("%w: truncated trailer: %w", ErrCorrupt, err)
 		}
 		r.count = binary.BigEndian.Uint64(cnt[:])
 		r.done = true
@@ -141,24 +146,32 @@ func (r *Reader) Next() (kv.Pair, error) {
 		return kv.Pair{}, io.EOF
 	}
 	if _, err := io.ReadFull(r.r, lenBuf[4:]); err != nil {
-		return kv.Pair{}, fmt.Errorf("seqfile: truncated record: %w", err)
+		return kv.Pair{}, fmt.Errorf("%w: truncated record: %w", ErrCorrupt, err)
 	}
 	keyLen := binary.BigEndian.Uint32(lenBuf[0:4])
 	valLen := binary.BigEndian.Uint32(lenBuf[4:8])
 	if keyLen > 1<<20 || valLen > 1<<20 {
 		return kv.Pair{}, fmt.Errorf("%w: implausible lengths %d/%d", ErrCorrupt, keyLen, valLen)
 	}
+	// Numeric slots are always 8 bytes on the wire; a shorter slot would
+	// make decoding read out of bounds, so reject it as structural damage.
+	if r.schema.KeyKind != kv.Bytes && keyLen != 8 {
+		return kv.Pair{}, fmt.Errorf("%w: %v key slot %d bytes, want 8", ErrCorrupt, r.schema.KeyKind, keyLen)
+	}
+	if r.schema.ValKind != kv.Bytes && valLen != 8 {
+		return kv.Pair{}, fmt.Errorf("%w: %v value slot %d bytes, want 8", ErrCorrupt, r.schema.ValKind, valLen)
+	}
 	key := make([]byte, keyLen)
 	val := make([]byte, valLen)
 	if _, err := io.ReadFull(r.r, key); err != nil {
-		return kv.Pair{}, fmt.Errorf("seqfile: truncated key: %w", err)
+		return kv.Pair{}, fmt.Errorf("%w: truncated key: %w", ErrCorrupt, err)
 	}
 	if _, err := io.ReadFull(r.r, val); err != nil {
-		return kv.Pair{}, fmt.Errorf("seqfile: truncated value: %w", err)
+		return kv.Pair{}, fmt.Errorf("%w: truncated value: %w", ErrCorrupt, err)
 	}
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(r.r, crcBuf[:]); err != nil {
-		return kv.Pair{}, fmt.Errorf("seqfile: truncated crc: %w", err)
+		return kv.Pair{}, fmt.Errorf("%w: truncated crc: %w", ErrCorrupt, err)
 	}
 	crc := crc32.NewIEEE()
 	crc.Write(lenBuf[:])
@@ -169,6 +182,28 @@ func (r *Reader) Next() (kv.Pair, error) {
 	}
 	r.read++
 	return kv.Pair{Key: r.schema.DecodeKey(key), Val: r.schema.DecodeVal(val)}, nil
+}
+
+// PartitionSum computes the CRC32 checksum of a map output partition: the
+// running IEEE CRC over exactly the record framing Append writes (length
+// prefix, encoded key, encoded value per record). It is the
+// checksum-on-write half of the shuffle's integrity check — the engine
+// stores one sum per committed partition and reducers recompute it on
+// fetch, so verification costs one pass per fetch instead of per-record
+// re-hashing in the map inner loop.
+func PartitionSum(schema kv.Schema, pairs []kv.Pair) uint32 {
+	crc := crc32.NewIEEE()
+	var lenBuf [8]byte
+	for _, p := range pairs {
+		key := schema.EncodeKey(p.Key)
+		val := schema.EncodeVal(p.Val)
+		binary.BigEndian.PutUint32(lenBuf[0:4], uint32(len(key)))
+		binary.BigEndian.PutUint32(lenBuf[4:8], uint32(len(val)))
+		crc.Write(lenBuf[:])
+		crc.Write(key)
+		crc.Write(val)
+	}
+	return crc.Sum32()
 }
 
 // ReadAll drains the reader.

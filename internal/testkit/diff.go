@@ -120,6 +120,10 @@ type ClusterOpts struct {
 	Faults *faults.Plan
 	// Seed perturbs HDFS placement and engine scheduling.
 	Seed uint64
+	// SkipBadRecords / MaxSkippedRecords expose the engine's bad-record
+	// skipping policy (poisoned-input metamorphic runs).
+	SkipBadRecords    bool
+	MaxSkippedRecords int
 	// Prof optionally attaches a wall-clock cost profiler to the run (the
 	// profiler-determinism tests drive this).
 	Prof *perf.Profiler
@@ -173,13 +177,15 @@ func RunCluster(cj *mr.CompiledJob, input []byte, o ClusterOpts) (*mr.JobStats, 
 	// heartbeat (and its 10x expiry window, the failure-detection latency)
 	// must be far smaller still for fault plans to be detected in-flight.
 	return mr.RunJob(mr.ClusterConfig{
-		Name:         cj.Program.Name,
-		Slaves:       o.Slaves,
-		Node:         node,
-		Scheduler:    o.Scheduler,
-		HeartbeatSec: 1e-6,
-		Faults:       o.Faults,
-		Seed:         o.Seed + 2,
+		Name:              cj.Program.Name,
+		Slaves:            o.Slaves,
+		Node:              node,
+		Scheduler:         o.Scheduler,
+		HeartbeatSec:      1e-6,
+		Faults:            o.Faults,
+		Seed:              o.Seed + 2,
+		SkipBadRecords:    o.SkipBadRecords,
+		MaxSkippedRecords: o.MaxSkippedRecords,
 	}, exec)
 }
 

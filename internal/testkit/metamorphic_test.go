@@ -142,3 +142,109 @@ func TestOutputInvariantUnderRecoveringFaults(t *testing.T) {
 		}
 	}
 }
+
+// TestOutputInvariantUnderCorruptionFaults: every data-integrity plan shape
+// the engine recovers from — targeted partition corruption, whole-output
+// corruption, transient and sustained fetch failures, and background
+// corruption/fetch-failure rates — must leave the output byte-identical to
+// the clean run. Plans are expressed as spec strings so the sweep also
+// exercises the -faults syntax for the new kinds.
+func TestOutputInvariantUnderCorruptionFaults(t *testing.T) {
+	const faultSeeds = 10
+	integrity := map[string]int{}
+	for seed := uint64(0); seed < faultSeeds; seed++ {
+		cj, p, ref := metaProgram(t, seed)
+		_, cleanOut := mustRun(t, &cj, p, ClusterOpts{Scheduler: mr.GPUFirst, Seed: seed}, "clean run")
+		if cleanOut != ref {
+			t.Fatalf("seed %d: clean cluster run disagrees with the reference", seed)
+		}
+		specs := []struct{ name, spec string }{
+			{"corrupt-whole-output", "corrupt(task=0,attempt=0)"},
+			{"corrupt-one-partition", "corrupt(task=1,attempt=0,part=0)"},
+			{"fetchfail-transient", "fetchfail(task=0,part=0,times=2)"},
+			{"fetchfail-until-lost", "fetchfail(task=0,part=0,times=9)"},
+			{"corrupt-rate", "corruptrate=0.05;seed=5"},
+			{"fetch-rate", "fetchrate=0.05;seed=6"},
+		}
+		for _, tc := range specs {
+			plan, err := faults.Parse(tc.spec)
+			if err != nil {
+				t.Fatalf("seed %d: plan %s: %v", seed, tc.name, err)
+			}
+			if err := plan.Validate(3); err != nil {
+				t.Fatalf("seed %d: plan %s: %v", seed, tc.name, err)
+			}
+			o := ClusterOpts{Scheduler: mr.GPUFirst, Faults: plan, Seed: seed}
+			stats, out := mustRun(t, &cj, p, o, "corrupted run "+tc.name)
+			if out != cleanOut {
+				t.Fatalf("seed %d: corruption plan %s (%s) changed the output\nclean:\n%s\nfaulted:\n%s\nmap source:\n%s",
+					seed, tc.name, tc.spec, head(cleanOut), head(out), p.MapSrc)
+			}
+			integrity[tc.name] += stats.CorruptPartitions + stats.FetchFailures +
+				stats.MapOutputsLost + stats.Refetches
+		}
+	}
+	// Map-only programs never fetch, so not every seed exercises the shuffle
+	// integrity machinery — but across the sweep each plan shape must have.
+	for _, name := range []string{"corrupt-whole-output", "corrupt-one-partition", "fetchfail-transient", "fetchfail-until-lost"} {
+		if integrity[name] == 0 {
+			t.Errorf("corruption plan %s never exercised the integrity machinery across %d seeds", name, faultSeeds)
+		}
+	}
+}
+
+// TestOutputInvariantUnderBadRecordSkipping: with skip-bad-records on,
+// poisoning records of the (single) input split must yield exactly the
+// reference output of the input with those lines removed — the skipped
+// records vanish, nothing else changes.
+func TestOutputInvariantUnderBadRecordSkipping(t *testing.T) {
+	const skipSeeds = 10
+	for seed := uint64(0); seed < skipSeeds; seed++ {
+		cj, p, _ := metaProgram(t, seed)
+		plan, err := faults.Parse("poison(task=0,record=1);poison(task=0,record=4)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One 64 KiB block holds the whole input, so split-relative record
+		// indices are global line indices.
+		o := ClusterOpts{BlockSize: 64 << 10, Scheduler: mr.GPUFirst, Seed: seed,
+			Faults: plan, SkipBadRecords: true}
+		stats, out := mustRun(t, &cj, p, o, "skip-mode run")
+		if stats.RecordsSkipped != 2 {
+			t.Errorf("seed %d: RecordsSkipped = %d, want 2", seed, stats.RecordsSkipped)
+		}
+		pruned := dropLines(p.Input, 1, 4)
+		ref, err := Reference(&cj, pruned)
+		if err != nil {
+			t.Fatalf("seed %d: pruned reference: %v", seed, err)
+		}
+		if out != ref {
+			t.Fatalf("seed %d: skip-mode output differs from the pruned-input reference\nwant:\n%s\ngot:\n%s\nmap source:\n%s",
+				seed, head(ref), head(out), p.MapSrc)
+		}
+	}
+}
+
+// dropLines removes the newline-delimited records at the given indices.
+func dropLines(input []byte, drop ...int) []byte {
+	dropSet := map[int]bool{}
+	for _, d := range drop {
+		dropSet[d] = true
+	}
+	var out []byte
+	rec := 0
+	for start := 0; start < len(input); rec++ {
+		end := start
+		for end < len(input) && input[end] != '\n' {
+			end++
+		}
+		if end < len(input) {
+			end++
+		}
+		if !dropSet[rec] {
+			out = append(out, input[start:end]...)
+		}
+		start = end
+	}
+	return out
+}
