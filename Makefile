@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint lint-go opt-report ci bench bench-baseline bench-check fuzz-smoke cover
+.PHONY: all build test race vet fmt lint lint-go opt-report ci bench bench-baseline bench-check fuzz-smoke cover stress
 
 all: build
 
@@ -12,6 +12,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# stress hammers the parallel-engine determinism tests under the race
+# detector with repeated runs on a deterministic seed subset: the pool and
+# two-phase dispatcher edge cases, and the worker-count invariance crossing
+# with recovering-fault and corruption plans. Goroutine schedules differ on
+# every -count repetition, so 20 repetitions explore 20 interleavings of
+# the same virtual-time schedule.
+stress:
+	$(GO) test -race -count=20 ./internal/sim -run 'Pool|Task|Cancel|RunUntil|Wait|Discard|Close'
+	$(GO) test -race -count=20 ./internal/testkit -run 'TestWorkerInvarianceUnder'
 
 vet:
 	$(GO) vet ./...
@@ -65,7 +75,7 @@ cover:
 	check ./internal/compiler 80; \
 	check ./internal/mr 87
 
-ci: fmt vet build test race lint lint-go cover fuzz-smoke bench-check
+ci: fmt vet build test race lint lint-go stress cover fuzz-smoke bench-check
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -40,6 +40,7 @@ func main() {
 	dumpBC := flag.String("dump-bytecode", "", "print the register-bytecode disassembly of a benchmark's stages (e.g. WC) and exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the simulated jobs to this file")
 	metricsPath := flag.String("metrics", "", "write a Prometheus-style metrics dump to this file")
+	workers := flag.Int("workers", runtime.NumCPU(), "host worker-pool size for experiment sweeps; 1 = serial, results are byte-identical for every value")
 
 	baseline := flag.Bool("baseline", false, "measure the benchmark suite and write -baseline-file")
 	checkMode := flag.Bool("check", false, "measure the suite and compare against -baseline-file; exit 1 on regression")
@@ -117,6 +118,7 @@ func main() {
 		DisableVM:  *novm,
 		Obs:        rec,
 		Prof:       prof,
+		Workers:    *workers,
 	}
 
 	wants := strings.Split(strings.ToLower(*exp), ",")

@@ -28,6 +28,7 @@ import (
 	"repro/internal/mr"
 	"repro/internal/obs"
 	"repro/internal/perf"
+	"repro/internal/sim"
 	"repro/internal/streaming"
 )
 
@@ -127,6 +128,14 @@ type RunOptions struct {
 	// Profile, when non-nil, receives the run's wall-clock cost profile:
 	// engine phases plus per-AST-node and per-builtin interpreter buckets.
 	Profile *perf.Profiler
+	// Workers bounds host-side parallelism for the run's task work. 0 or 1
+	// reproduces the serial engine exactly; any value is byte-identical on
+	// every output surface (results, stats, traces, metrics) and differs
+	// only in wall-clock time.
+	Workers int
+	// Pool optionally shares a caller-owned worker pool across runs (used
+	// by experiment sweeps); when set, Workers is ignored.
+	Pool *sim.Pool
 }
 
 // Result is a finished job.
@@ -201,6 +210,8 @@ func Run(job *Job, input []byte, opts RunOptions) (*Result, error) {
 		SkipBadRecords:    opts.SkipBadRecords,
 		MaxSkippedRecords: opts.MaxSkippedRecords,
 		Obs:               opts.Obs,
+		Workers:           opts.Workers,
+		Pool:              opts.Pool,
 	}, exec)
 	if err != nil {
 		return nil, err

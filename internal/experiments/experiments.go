@@ -21,6 +21,7 @@ import (
 	"repro/internal/mr"
 	"repro/internal/obs"
 	"repro/internal/perf"
+	"repro/internal/sim"
 	"repro/internal/streaming"
 	"repro/internal/workload"
 )
@@ -46,6 +47,14 @@ type Config struct {
 	// Prof, when non-nil, receives wall-clock phase and interpreter
 	// hot-path buckets from every functionally sampled task.
 	Prof *perf.Profiler
+	// Workers bounds host-side parallelism across a sweep's independent
+	// jobs (and inside each job's task work). 0 or 1 runs everything
+	// serially; every value produces byte-identical tables, traces, and
+	// metrics — only wall-clock time changes.
+	Workers int
+	// Pool optionally shares a caller-owned worker pool across sweeps; when
+	// set, Workers is ignored and the pool is not closed here.
+	Pool *sim.Pool
 }
 
 func (c *Config) fillDefaults() {
@@ -172,6 +181,59 @@ func sampleBenchmark(b *workload.Benchmark, setup cluster.Setup, clusterIdx int,
 		sample.KVPairs += gpuRes.KVPairs / cfg.Variants
 	}
 	return sample, nil
+}
+
+// pool returns the sweep's shared worker pool (nil for a serial sweep)
+// and a release function that closes the pool only if this call created
+// it — caller-owned pools stay open.
+func (c Config) pool() (*sim.Pool, func()) {
+	if c.Pool != nil {
+		return c.Pool, func() {}
+	}
+	if c.Workers > 1 {
+		p := sim.NewPool(c.Workers)
+		return p, p.Close
+	}
+	return nil, func() {}
+}
+
+// parallelRuns executes n independent runs on the pool — inline, in index
+// order, when the pool is serial — handing each run a private fork of the
+// base recorder and merging the forks back in index order afterwards.
+// Both paths fork and merge, so the recorded bytes are identical for every
+// worker count by construction. Results land in index order; the first
+// error (by index) wins.
+func parallelRuns[T any](pool *sim.Pool, base *obs.Recorder, n int,
+	run func(i int, rec *obs.Recorder) (T, error)) ([]T, error) {
+
+	type outcome struct {
+		val T
+		err error
+	}
+	recs := make([]*obs.Recorder, n)
+	tasks := make([]*sim.Task, n)
+	for i := 0; i < n; i++ {
+		i := i
+		recs[i] = base.Fork()
+		tasks[i] = pool.Submit(func() any {
+			v, err := run(i, recs[i])
+			return outcome{v, err}
+		})
+	}
+	out := make([]T, n)
+	var firstErr error
+	for i := 0; i < n; i++ {
+		o := tasks[i].Wait().(outcome)
+		base.Merge(recs[i])
+		out[i] = o.val
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // scaledTasks applies Config.TaskScale to a Table-2 task count.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -64,16 +65,27 @@ func FaultSweep(cfg Config, custom *faults.Plan) ([]FaultSweepRow, error) {
 		return nil, err
 	}
 	input := workload.TextCorpus(cfg.Seed, 48*(4<<10))
-	run := func(in []byte, plan *faults.Plan, skip bool) (*core.Result, error) {
+	pool, release := cfg.pool()
+	defer release()
+	run := func(in []byte, plan *faults.Plan, skip bool, rec *obs.Recorder) (*core.Result, error) {
 		return core.Run(job, in, core.RunOptions{
 			Setup:          &setup,
 			Seed:           cfg.Seed,
 			Faults:         plan,
 			SkipBadRecords: skip,
-			Obs:            cfg.Obs,
+			Obs:            rec,
+			Pool:           pool,
 		})
 	}
-	clean, err := run(input, nil, false)
+	// The clean run goes first, alone: every plan below derives its fault
+	// instants from the clean stats. Fork+merge recording keeps the bytes
+	// identical across worker counts.
+	clean, err := func() (*core.Result, error) {
+		rec := cfg.Obs.Fork()
+		res, err := run(input, nil, false, rec)
+		cfg.Obs.Merge(rec)
+		return res, err
+	}()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: clean fault-sweep run: %w", err)
 	}
@@ -137,31 +149,57 @@ func FaultSweep(cfg Config, custom *faults.Plan) ([]FaultSweepRow, error) {
 			plan  *faults.Plan
 		}{"custom", custom})
 	}
-	for _, p := range plans {
-		res, err := run(input, p.plan, false)
-		if err != nil {
-			rows = append(rows, FaultSweepRow{Label: p.label, Err: err.Error()})
-			continue
-		}
-		rows = append(rows, sweepRow(p.label, res, res.TextOutput() == cleanOut))
+	// Every plan row is independent of the others: run them on the worker
+	// pool, one task per row, merged back in plan order. A row's failure is
+	// data (an Err row), not a sweep failure, so the run callbacks never
+	// return an error.
+	planRows, err := parallelRuns(pool, cfg.Obs, len(plans),
+		func(i int, rec *obs.Recorder) (FaultSweepRow, error) {
+			p := plans[i]
+			res, err := run(input, p.plan, false, rec)
+			if err != nil {
+				return FaultSweepRow{Label: p.label, Err: err.Error()}, nil
+			}
+			return sweepRow(p.label, res, res.TextOutput() == cleanOut), nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	rows = append(rows, planRows...)
 
 	// Bad-record skipping: poison two records of split 0 with skip mode on;
 	// the run must reproduce the clean output of the input with those two
-	// lines removed.
+	// lines removed. The pruned-input reference and the skip run are
+	// independent, so they share one parallel group.
 	skipPlan := &faults.Plan{Faults: []faults.Fault{
 		{Kind: faults.InputCorrupt, Task: 0, Record: 1},
 		{Kind: faults.InputCorrupt, Task: 0, Record: 4},
 	}}
 	pruned := dropRecords(input, 1, 4)
-	prunedRef, err := run(pruned, nil, false)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: pruned-input reference run: %w", err)
+	type skipOut struct {
+		res *core.Result
+		err error
 	}
-	if res, err := run(input, skipPlan, true); err != nil {
-		rows = append(rows, FaultSweepRow{Label: "skip-bad-records", Err: err.Error()})
+	skipRuns, err := parallelRuns(pool, cfg.Obs, 2,
+		func(i int, rec *obs.Recorder) (skipOut, error) {
+			if i == 0 {
+				res, err := run(pruned, nil, false, rec)
+				return skipOut{res, err}, nil
+			}
+			res, err := run(input, skipPlan, true, rec)
+			return skipOut{res, err}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	prunedRef := skipRuns[0]
+	if prunedRef.err != nil {
+		return nil, fmt.Errorf("experiments: pruned-input reference run: %w", prunedRef.err)
+	}
+	if sk := skipRuns[1]; sk.err != nil {
+		rows = append(rows, FaultSweepRow{Label: "skip-bad-records", Err: sk.err.Error()})
 	} else {
-		rows = append(rows, sweepRow("skip-bad-records", res, res.TextOutput() == prunedRef.TextOutput()))
+		rows = append(rows, sweepRow("skip-bad-records", sk.res, sk.res.TextOutput() == prunedRef.res.TextOutput()))
 	}
 	return rows, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mr"
+	"repro/internal/obs"
 )
 
 // Fig3Result reproduces the Figure-3 thought experiment: 19 equal tasks,
@@ -26,8 +27,9 @@ func (r Fig3Result) Improvement() float64 {
 	return r.GPUFirstTime / r.TailTime
 }
 
-// Fig3 runs the two schedulers on the canonical scenario. Only cfg.Obs is
-// consulted: the scenario's task mix is fixed by the paper.
+// Fig3 runs the two schedulers on the canonical scenario. Only cfg.Obs
+// and cfg.Workers/cfg.Pool are consulted: the scenario's task mix is fixed
+// by the paper. The two runs execute concurrently when workers allow.
 func Fig3(cfg Config) (Fig3Result, error) {
 	const (
 		tasks   = 19
@@ -40,22 +42,23 @@ func Fig3(cfg Config) (Fig3Result, error) {
 			CPUDur: []float64{cpuTask}, GPUDur: []float64{gpuTask},
 		}
 	}
-	run := func(s mr.SchedulerKind) (*mr.JobStats, error) {
-		return mr.RunJob(mr.ClusterConfig{
-			Name:   "fig3-" + s.String(),
-			Slaves: 1, Node: mr.NodeConfig{MapSlots: 2, ReduceSlots: 1, GPUs: 1},
-			Scheduler: s, HeartbeatSec: 0.5,
-			Obs: cfg.Obs,
-		}, exec())
-	}
-	gf, err := run(mr.GPUFirst)
+	pool, release := cfg.pool()
+	defer release()
+	scheds := []mr.SchedulerKind{mr.GPUFirst, mr.TailSched}
+	stats, err := parallelRuns(pool, cfg.Obs, len(scheds),
+		func(i int, rec *obs.Recorder) (*mr.JobStats, error) {
+			s := scheds[i]
+			return mr.RunJob(mr.ClusterConfig{
+				Name:   "fig3-" + s.String(),
+				Slaves: 1, Node: mr.NodeConfig{MapSlots: 2, ReduceSlots: 1, GPUs: 1},
+				Scheduler: s, HeartbeatSec: 0.5,
+				Obs: rec,
+			}, exec())
+		})
 	if err != nil {
 		return Fig3Result{}, err
 	}
-	tail, err := run(mr.TailSched)
-	if err != nil {
-		return Fig3Result{}, err
-	}
+	gf, tail := stats[0], stats[1]
 	return Fig3Result{
 		Tasks: tasks, CPUSlots: 2, GPUs: 1, GPUSpeedup: cpuTask / gpuTask,
 		GPUFirstTime: gf.Makespan, TailTime: tail.Makespan,

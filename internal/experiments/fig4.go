@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/gpurt"
 	"repro/internal/mr"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -29,18 +30,9 @@ type Fig4Row struct {
 // eight benchmarks with Table-2 task counts.
 func Fig4a(cfg Config) ([]Fig4Row, error) {
 	cfg.fillDefaults()
-	setup := cluster.Cluster1()
-	var rows []Fig4Row
-	for _, b := range workload.All() {
-		sample, err := sampleBenchmark(b, setup, 1, gpurt.AllOptimizations(), cfg)
-		if err != nil {
-			return nil, err
-		}
-		row, err := fig4Bench(b, setup, 1, sample, []int{1}, cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, *row)
+	rows, err := fig4Sweep(cfg, cluster.Cluster1(), 1, []int{1}, workload.All())
+	if err != nil {
+		return nil, err
 	}
 	sortFig4(rows, "1GPU+tail")
 	return rows, nil
@@ -50,23 +42,47 @@ func Fig4a(cfg Config) ([]Fig4Row, error) {
 // GPUs per node, GPU-first vs tail). KM is excluded, as in the paper.
 func Fig4b(cfg Config) ([]Fig4Row, error) {
 	cfg.fillDefaults()
-	setup := cluster.Cluster2()
-	var rows []Fig4Row
+	var benches []*workload.Benchmark
 	for _, b := range workload.All() {
-		if !b.OnCluster2() {
-			continue
+		if b.OnCluster2() {
+			benches = append(benches, b)
 		}
-		sample, err := sampleBenchmark(b, setup, 2, gpurt.AllOptimizations(), cfg)
-		if err != nil {
-			return nil, err
-		}
-		row, err := fig4Bench(b, setup, 2, sample, []int{1, 2, 3}, cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, *row)
+	}
+	rows, err := fig4Sweep(cfg, cluster.Cluster2(), 2, []int{1, 2, 3}, benches)
+	if err != nil {
+		return nil, err
 	}
 	sortFig4(rows, "3GPU+tail")
+	return rows, nil
+}
+
+// fig4Sweep samples and runs every benchmark, one worker task per
+// benchmark: the expensive part is the functional split sampling, so the
+// sweep parallelizes cleanly while each benchmark's own job runs stay in
+// serial order on its private recorder.
+func fig4Sweep(cfg Config, setup cluster.Setup, clusterIdx int, gpuCounts []int,
+	benches []*workload.Benchmark) ([]Fig4Row, error) {
+
+	pool, release := cfg.pool()
+	defer release()
+	rows, err := parallelRuns(pool, cfg.Obs, len(benches),
+		func(i int, rec *obs.Recorder) (Fig4Row, error) {
+			bcfg := cfg
+			bcfg.Obs = rec
+			b := benches[i]
+			sample, err := sampleBenchmark(b, setup, clusterIdx, gpurt.AllOptimizations(), bcfg)
+			if err != nil {
+				return Fig4Row{}, err
+			}
+			row, err := fig4Bench(b, setup, clusterIdx, sample, gpuCounts, bcfg)
+			if err != nil {
+				return Fig4Row{}, err
+			}
+			return *row, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	return rows, nil
 }
 

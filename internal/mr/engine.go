@@ -75,6 +75,22 @@ func RunJob(cfg ClusterConfig, exec Executor) (*JobStats, error) {
 	}
 	e.initObs()
 	e.eng.SetEventLimit(50_000_000)
+	// Parallel execution: attach (or create) the worker pool and let a
+	// prefetching executor precompute pure task work on it. The event loop
+	// below is untouched — prefetching only changes when task computations
+	// burn host CPU, never what any event observes — so schedules, stats,
+	// traces, and metrics stay byte-identical to cfg.Workers == 1.
+	pool := cfg.Pool
+	if pool == nil && cfg.Workers > 1 {
+		pool = sim.NewPool(cfg.Workers)
+		defer pool.Close()
+	}
+	e.eng.SetPool(pool)
+	if pf, ok := exec.(prefetcher); ok && pool.Parallel() {
+		pf.SetWorkerPool(pool)
+		pf.PrefetchMaps(cfg.Scheduler != CPUOnly && cfg.Node.GPUs > 0)
+		e.pre = pf
+	}
 	for n := 0; n < cfg.Slaves; n++ {
 		e.slaves[n] = &taskTracker{
 			node:     n,
@@ -165,6 +181,9 @@ type engine struct {
 	// summer recomputes partition checksums on fetch; nil for executors
 	// without materialized output, which makes verification vacuous.
 	summer partitionSummer
+	// pre is the executor's prefetching extension; non-nil only when a
+	// parallel pool is attached.
+	pre prefetcher
 	// reduceRuns tracks the live attempt per reduce partition so node
 	// death can cancel and restart it.
 	reduceRuns      map[int]*reduceRun
@@ -1169,6 +1188,31 @@ func (e *engine) completeMap(tt *taskTracker, split int, onGPU, speculative bool
 		}
 		// Reducers still shuffling are released by their own scheduling
 		// below (launchReduce waits on lastMapDone via the maps-done gate).
+		e.hintReduces()
+	}
+}
+
+// hintReduces prefetches the reduce work for every partition that has not
+// yet collected its inputs, now that a full set of committed map outputs
+// exists. Called each time mapsDone reaches totalMaps (including after
+// map-output-loss recovery recommits), so a superseding hint always
+// carries the current partition slices; the executor validates slice
+// identity at consume time regardless.
+func (e *engine) hintReduces() {
+	if e.pre == nil {
+		return
+	}
+	for p := 0; p < e.jt.totalReduces; p++ {
+		if e.jt.reduceFetched[p] {
+			continue
+		}
+		inputs := make([][]kv.Pair, 0, e.jt.totalMaps)
+		for _, res := range e.jt.mapResults {
+			if res.Partitions != nil && p < len(res.Partitions) {
+				inputs = append(inputs, res.Partitions[p])
+			}
+		}
+		e.pre.PrefetchReduce(p, inputs)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/kv"
 	"repro/internal/perf"
 	"repro/internal/seqfile"
+	"repro/internal/sim"
 	"repro/internal/streaming"
 )
 
@@ -124,6 +125,38 @@ type FunctionalExecutor struct {
 	// integ is the engine-pushed data-integrity config: the fault plan's
 	// input poisoning plus the skip-bad-records policy.
 	integ IntegrityConfig
+	// pool and the prefetch tables drive parallel execution (the engine's
+	// prefetcher extension). Both tables are touched only on the engine
+	// goroutine; the pool workers see nothing but the pure compute
+	// closures. With a serial (or absent) pool every entry point behaves
+	// exactly like the pre-parallel executor.
+	pool   *sim.Pool
+	pre    map[mapKey]*sim.Task
+	preRed map[int]*reducePrefetch
+}
+
+// mapComputed is a prefetched map attempt: the result, its error, and the
+// private profiler the compute charged (merged into HW.Prof only when the
+// engine actually consumes the attempt, keeping bucket counts identical
+// to a serial run).
+type mapComputed struct {
+	attempt MapAttempt
+	err     error
+	prof    *perf.Profiler
+}
+
+// reducePrefetch is an outstanding reduce precomputation pinned to the
+// exact input slices it was hinted with.
+type reducePrefetch struct {
+	inputs [][]kv.Pair
+	task   *sim.Task
+}
+
+// reduceComputed is a prefetched reduce result.
+type reduceComputed struct {
+	work ReduceWork
+	err  error
+	prof *perf.Profiler
 }
 
 type mapKey struct {
@@ -156,10 +189,115 @@ func (x *FunctionalExecutor) Locations(split int) []int { return x.Splits[split]
 
 // ConfigureIntegrity implements the engine's optional integrity extension.
 // The memo cache is reset because poisoning changes what a split's attempt
-// produces.
+// produces, and outstanding prefetches are discarded for the same reason.
 func (x *FunctionalExecutor) ConfigureIntegrity(cfg IntegrityConfig) {
 	x.integ = cfg
 	x.cache = map[mapKey]MapAttempt{}
+	//detlint:ignore map-iteration: discard order has no observable effect
+	for _, t := range x.pre {
+		t.Discard()
+	}
+	x.pre = nil
+	//detlint:ignore map-iteration: discard order has no observable effect
+	for _, pr := range x.preRed {
+		pr.task.Discard()
+	}
+	x.preRed = nil
+}
+
+// SetWorkerPool implements the engine's prefetcher extension.
+func (x *FunctionalExecutor) SetWorkerPool(p *sim.Pool) { x.pool = p }
+
+// PrefetchMaps implements the prefetcher extension: every split's
+// data-local attempt is precomputed on the pool for the device classes
+// the scheduler may use. Results are served (and the private profiler
+// merged) when the engine requests the matching attempt; unconsumed
+// prefetches are discarded wholesale, so a parallel run records exactly
+// the serial run's cache misses.
+func (x *FunctionalExecutor) PrefetchMaps(gpu bool) {
+	if !x.pool.Parallel() || x.HW.Opts.Prof != nil {
+		// An explicitly shared GPU profiler cannot be privatized per
+		// attempt; stay serial rather than race on it.
+		return
+	}
+	for split := range x.Splits {
+		x.prefetchMap(split, false)
+		if gpu {
+			x.prefetchMap(split, true)
+		}
+	}
+}
+
+// prefetchMap submits one (split, device, local=true) compute.
+func (x *FunctionalExecutor) prefetchMap(split int, onGPU bool) {
+	key := mapKey{split: split, onGPU: onGPU, local: true}
+	if _, ok := x.cache[key]; ok {
+		return
+	}
+	if _, ok := x.pre[key]; ok {
+		return
+	}
+	locs := x.Splits[split].Locations
+	if len(locs) == 0 {
+		return // no node is local to this split; the hint can never match
+	}
+	node := locs[0] // ReadTime depends only on locality, so any local node
+	if x.pre == nil {
+		x.pre = map[mapKey]*sim.Task{}
+	}
+	x.pre[key] = x.pool.Submit(func() any {
+		var prof *perf.Profiler
+		if x.HW.Prof != nil {
+			prof = perf.New()
+		}
+		attempt, err := x.computeMap(split, onGPU, node, prof)
+		return mapComputed{attempt: attempt, err: err, prof: prof}
+	})
+}
+
+// PrefetchReduce implements the prefetcher extension: partition p's
+// fetch/merge/reduce work is precomputed against exactly these inputs. A
+// fresh hint for the same partition supersedes (and discards) the old one.
+func (x *FunctionalExecutor) PrefetchReduce(p int, inputs [][]kv.Pair) {
+	if !x.pool.Parallel() {
+		return
+	}
+	if old, ok := x.preRed[p]; ok {
+		old.task.Discard()
+	}
+	if x.preRed == nil {
+		x.preRed = map[int]*reducePrefetch{}
+	}
+	x.preRed[p] = &reducePrefetch{
+		inputs: inputs,
+		task: x.pool.Submit(func() any {
+			var prof *perf.Profiler
+			if x.HW.Prof != nil {
+				prof = perf.New()
+			}
+			work, err := x.computeReduce(inputs, prof)
+			return reduceComputed{work: work, err: err, prof: prof}
+		}),
+	}
+}
+
+// sameInputs reports whether two input collections are the identical
+// slices (same backing arrays in the same order) — the validity test for
+// a prefetched reduce, since a map re-execution replaces its partition
+// slices wholesale.
+func sameInputs(a, b [][]kv.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		if len(a[i]) > 0 && &a[i][0] != &b[i][0] {
+			return false
+		}
+	}
+	return true
 }
 
 // PartitionSum implements the engine's verify-on-fetch extension: the CRC32
@@ -210,13 +348,39 @@ func (x *FunctionalExecutor) prunePoisoned(split int, input []byte) ([]byte, int
 	return out, skipped, nil
 }
 
-// MapTask implements Executor.
+// MapTask implements Executor. A cache hit returns the memoized attempt;
+// a prefetched attempt is consumed (merging its private profiler at the
+// point the serial engine would have computed, preserving bucket counts);
+// anything else computes inline, exactly the serial path.
 func (x *FunctionalExecutor) MapTask(split int, onGPU bool, node int) (MapAttempt, error) {
-	sp := x.Splits[split]
-	key := mapKey{split: split, onGPU: onGPU, local: sp.IsLocal(node)}
+	key := mapKey{split: split, onGPU: onGPU, local: x.Splits[split].IsLocal(node)}
 	if attempt, ok := x.cache[key]; ok {
 		return attempt, nil
 	}
+	if t, ok := x.pre[key]; ok {
+		delete(x.pre, key)
+		r := t.Wait().(mapComputed)
+		x.HW.Prof.Merge(r.prof)
+		if r.err != nil {
+			return MapAttempt{}, r.err
+		}
+		x.cache[key] = r.attempt
+		return r.attempt, nil
+	}
+	attempt, err := x.computeMap(split, onGPU, node, x.HW.Prof)
+	if err != nil {
+		return MapAttempt{}, err
+	}
+	x.cache[key] = attempt
+	return attempt, nil
+}
+
+// computeMap is the pure core of MapTask: it reads the split, prunes
+// poisoned records, and runs the map (+combine) stage on the requested
+// device, charging the given profiler. It touches no executor state, so
+// it is safe to run on a pool worker.
+func (x *FunctionalExecutor) computeMap(split int, onGPU bool, node int, prof *perf.Profiler) (MapAttempt, error) {
+	sp := x.Splits[split]
 	input, err := x.FS.ReadSplit(sp)
 	if err != nil {
 		return MapAttempt{}, err
@@ -230,7 +394,7 @@ func (x *FunctionalExecutor) MapTask(split int, onGPU bool, node int) (MapAttemp
 	if onGPU {
 		opts := x.HW.Opts
 		if opts.Prof == nil {
-			opts.Prof = x.HW.Prof
+			opts.Prof = prof
 		}
 		res, err := gpurt.RunTask(x.HW.Device, x.Job.MapC, x.Job.CombineC, input, gpurt.TaskConfig{
 			NumReducers:   x.Job.Program.NumReducers,
@@ -257,7 +421,7 @@ func (x *FunctionalExecutor) MapTask(split int, onGPU bool, node int) (MapAttemp
 			InputReadTime: readTime,
 			DiskWriteGBs:  x.HW.DiskWriteGBs,
 			HDFSWriteGBs:  x.HW.HDFSWriteGBs,
-			Prof:          x.HW.Prof,
+			Prof:          prof,
 		})
 		if err != nil {
 			return MapAttempt{}, err
@@ -279,17 +443,33 @@ func (x *FunctionalExecutor) MapTask(split int, onGPU bool, node int) (MapAttemp
 		}
 		attempt.PartitionSums = sums
 	}
-	x.cache[key] = attempt
 	return attempt, nil
 }
 
-// ReduceTask implements Executor.
+// ReduceTask implements Executor. A prefetched result is served only when
+// the engine asks for exactly the hinted input slices; a mismatch (a map
+// re-executed and replaced its partitions) discards the hint and computes
+// inline, the serial path.
 func (x *FunctionalExecutor) ReduceTask(p int, inputs [][]kv.Pair) (ReduceWork, error) {
+	if pr, ok := x.preRed[p]; ok {
+		delete(x.preRed, p)
+		if sameInputs(pr.inputs, inputs) {
+			r := pr.task.Wait().(reduceComputed)
+			x.HW.Prof.Merge(r.prof)
+			return r.work, r.err
+		}
+		pr.task.Discard()
+	}
+	return x.computeReduce(inputs, x.HW.Prof)
+}
+
+// computeReduce is the pure core of ReduceTask, safe on a pool worker.
+func (x *FunctionalExecutor) computeReduce(inputs [][]kv.Pair, prof *perf.Profiler) (ReduceWork, error) {
 	var bytes int64
 	for _, in := range inputs {
 		bytes += int64(len(in)) * int64(x.Job.Schema.SlotKeyLen()+x.Job.Schema.SlotValLen()+12)
 	}
-	out, compute, err := streaming.RunReduceProf(x.Job.ReduceF, x.Job.Schema, inputs, x.HW.CPU, x.HW.Prof)
+	out, compute, err := streaming.RunReduceProf(x.Job.ReduceF, x.Job.Schema, inputs, x.HW.CPU, prof)
 	if err != nil {
 		return ReduceWork{}, err
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/gpurt"
 	"repro/internal/kv"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // SchedulerKind selects the map-task scheduler.
@@ -128,6 +129,16 @@ type ClusterConfig struct {
 	// recorder keeps every instrumentation call a no-op; scheduling and
 	// JobStats are identical either way.
 	Obs *obs.Recorder
+	// Workers bounds host-side parallel execution of independent task
+	// computations (map attempts, reduce fetch/sort/reduce work). 0 or 1
+	// runs the engine exactly as the serial implementation — no worker
+	// goroutines at all. Any value yields byte-identical output, stats,
+	// traces, and metrics; only wall-clock time changes.
+	Workers int
+	// Pool optionally shares an existing worker pool (e.g. an experiment
+	// sweep running several jobs concurrently). When set, Workers is
+	// ignored and the pool is not closed by RunJob.
+	Pool *sim.Pool
 }
 
 func (c *ClusterConfig) fillDefaults() {
@@ -261,6 +272,27 @@ type integrityConfigurable interface {
 // executor knows the job's KV schema, so the engine delegates the CRC.
 type partitionSummer interface {
 	PartitionSum(pairs []kv.Pair) uint32
+}
+
+// prefetcher is the optional Executor extension for parallel execution.
+// The engine hands the executor a worker pool and hints at work it will
+// (probably) request later; the executor may precompute pure task results
+// on the pool and serve them from its cache when the engine's event loop
+// reaches the corresponding MapTask/ReduceTask call. Prefetching is
+// strictly a wall-clock optimization: a hinted computation that the
+// engine never requests is discarded without observable effect, and a
+// request that was never hinted computes inline exactly as the serial
+// engine would.
+type prefetcher interface {
+	// SetWorkerPool installs the pool (called once, before any hint).
+	SetWorkerPool(p *sim.Pool)
+	// PrefetchMaps hints that every split's map attempt may be requested
+	// on the given device classes (data-local placement).
+	PrefetchMaps(gpu bool)
+	// PrefetchReduce hints that partition p will be reduced over exactly
+	// these inputs. A later ReduceTask call with different inputs (e.g.
+	// after a map re-execution replaced them) ignores the hint.
+	PrefetchReduce(p int, inputs [][]kv.Pair)
 }
 
 // JobStats summarizes a completed job.

@@ -1,0 +1,129 @@
+package mr
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// runWCWorkers executes the functional wordcount job with the given worker
+// count. A fresh executor is built per run so the map-output memo cache and
+// prefetch state cannot leak between worker counts.
+func runWCWorkers(t *testing.T, workers int, pool *sim.Pool, sched SchedulerKind, plan *faults.Plan, skip bool) (*JobStats, error) {
+	t.Helper()
+	exec := buildExecutor(t, 120, 4)
+	gpus := 1
+	if sched == CPUOnly {
+		gpus = 0
+	}
+	return RunJob(ClusterConfig{
+		Name: "wc-par", Slaves: 4,
+		Node:      NodeConfig{MapSlots: 2, ReduceSlots: 1, GPUs: gpus},
+		Scheduler: sched, HeartbeatSec: 0.5,
+		Seed: 11, Faults: plan, SkipBadRecords: skip,
+		Workers: workers, Pool: pool,
+	}, exec)
+}
+
+// statsString is the invariance surface at the mr level: every exported
+// field of JobStats, including the full output pair list.
+func statsString(s *JobStats) string { return fmt.Sprintf("%+v", *s) }
+
+// TestParallelWorkersMatchSerialStats is the engine-level determinism
+// contract: with the prefetcher active, any worker count yields JobStats
+// byte-identical to the serial engine on every scheduler.
+func TestParallelWorkersMatchSerialStats(t *testing.T) {
+	for _, sched := range []SchedulerKind{CPUOnly, GPUFirst, TailSched} {
+		t.Run(sched.String(), func(t *testing.T) {
+			serial, err := runWCWorkers(t, 0, nil, sched, nil, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := statsString(serial)
+			for _, workers := range []int{2, 4} {
+				par, err := runWCWorkers(t, workers, nil, sched, nil, false)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got := statsString(par); got != want {
+					t.Errorf("workers=%d stats diverge from serial\n got: %.300s\nwant: %.300s", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSharedPoolMatchesSerialStats covers the sweep path: a caller-owned
+// pool shared across runs (Workers ignored) must also be byte-identical,
+// and RunJob must leave it usable for the next run.
+func TestSharedPoolMatchesSerialStats(t *testing.T) {
+	serial, err := runWCWorkers(t, 0, nil, GPUFirst, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := sim.NewPool(3)
+	defer pool.Close()
+	for run := 0; run < 2; run++ {
+		par, err := runWCWorkers(t, 0, pool, GPUFirst, nil, false)
+		if err != nil {
+			t.Fatalf("shared-pool run %d: %v", run, err)
+		}
+		if got, want := statsString(par), statsString(serial); got != want {
+			t.Errorf("shared-pool run %d diverges from serial", run)
+		}
+	}
+}
+
+// TestParallelWorkersMatchSerialUnderFaults drives the parallel engine
+// through recovery: a node crash after map commits forces map
+// re-execution, which replaces partition input slices and must invalidate
+// any prefetched reduce hint (sameInputs); a restarting node re-enters
+// scheduling mid-flight.
+func TestParallelWorkersMatchSerialUnderFaults(t *testing.T) {
+	clean, err := runWCWorkers(t, 0, nil, GPUFirst, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.NodeCrash, Node: 1, At: 0.8 * float64(clean.MapPhaseEnd), RestartAfter: 0.5 * float64(clean.Makespan)},
+		{Kind: faults.TaskFail, Task: 1, Attempt: 0, Device: faults.AnyDevice},
+	}}
+	serial, err := runWCWorkers(t, 0, nil, GPUFirst, plan, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.MapsReexecuted == 0 {
+		t.Fatal("fault plan has no teeth: no maps re-executed")
+	}
+	par, err := runWCWorkers(t, 4, nil, GPUFirst, plan, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := statsString(par), statsString(serial); got != want {
+		t.Errorf("faulted parallel run diverges from serial\n got: %.300s\nwant: %.300s", got, want)
+	}
+}
+
+// TestParallelWorkersMatchSerialUnderCorruption crosses the parallel
+// engine with the integrity layer: corruption draws plus skip-bad-records
+// disable map prefetching (ConfigureIntegrity discards hints), so the
+// parallel run must fall back to on-demand computes and still match.
+func TestParallelWorkersMatchSerialUnderCorruption(t *testing.T) {
+	plan := &faults.Plan{CorruptRate: 0.05, PoisonRate: 0.01, Seed: 5}
+	serial, err := runWCWorkers(t, 0, nil, GPUFirst, plan, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.CorruptPartitions == 0 && serial.RecordsSkipped == 0 {
+		t.Fatal("corruption plan has no teeth")
+	}
+	par, err := runWCWorkers(t, 4, nil, GPUFirst, plan, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := statsString(par), statsString(serial); got != want {
+		t.Errorf("corrupted parallel run diverges from serial\n got: %.300s\nwant: %.300s", got, want)
+	}
+}

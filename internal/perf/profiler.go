@@ -188,6 +188,31 @@ func (p *Profiler) Collector(phase string) *Collector {
 	return &Collector{prof: p, phase: phase, buckets: map[catName]*Bucket{}}
 }
 
+// Merge folds another profiler's buckets into p. Used by parallel
+// execution: a speculative task collects into a private profiler off the
+// engine goroutine, and the consumer merges it at the point the serial
+// engine would have recorded the work, so bucket *counts* stay identical
+// to a serial run (wall-clock nanos are nondeterministic either way).
+// Both receiver and argument may be nil.
+func (p *Profiler) Merge(other *Profiler) {
+	if p == nil || other == nil || p == other {
+		return
+	}
+	other.mu.Lock()
+	src := make(map[Key]Bucket, len(other.buckets))
+	for k, b := range other.buckets {
+		src[k] = *b
+	}
+	other.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, b := range src {
+		dst := p.bucketLocked(k)
+		dst.Count += b.Count
+		dst.Nanos += b.Nanos
+	}
+}
+
 // Snapshot returns a copy of the accumulated buckets.
 func (p *Profiler) Snapshot() Snapshot {
 	s := Snapshot{Buckets: map[Key]Bucket{}}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool for speculative computation under the
+// deterministic engine. The determinism contract is a strict split of
+// responsibilities: workers may only run *pure* computations (no shared
+// mutable state, no scheduling, no engine access), and every observable
+// effect of a computation is applied by the submitter — on the engine
+// goroutine, in canonical event order — when it calls Task.Wait. The pool
+// therefore changes *when* work burns host CPU, never *what* the
+// simulation computes: outputs, traces, metrics, and schedules stay
+// byte-identical to a serial run.
+//
+// A pool with workers <= 1 spawns no goroutines at all: Submit returns a
+// lazy task whose Wait runs the computation inline, which reproduces the
+// serial engine exactly (same call sites, same call order, same stacks).
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Task
+	closed  bool
+	workers int
+	wg      sync.WaitGroup
+}
+
+// NewPool returns a pool with the given concurrency. Values below 1 are
+// clamped to 1 (the serial, goroutine-free pool). Nil is also a valid
+// serial pool: every method tolerates a nil receiver.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 1; i < workers; i++ {
+		p.wg.Add(1)
+		//detlint:ignore bare-goroutine: pool workers run pure computes; results are applied in event order via Task.Wait
+		go p.worker()
+	}
+	return p
+}
+
+// Workers reports the pool's concurrency (1 for a nil or serial pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Parallel reports whether the pool actually runs work concurrently.
+func (p *Pool) Parallel() bool { return p.Workers() > 1 }
+
+// Task is one submitted computation: a future whose result is claimed by
+// Wait. Tasks move queued -> running -> done; Discard moves a still-queued
+// task to discarded so its compute never runs.
+type Task struct {
+	compute  func() any
+	state    atomic.Int32
+	done     chan struct{} // nil for lazy (serial) tasks
+	result   any
+	panicked any
+}
+
+const (
+	taskQueued int32 = iota
+	taskRunning
+	taskDone
+	taskDiscarded
+)
+
+// Submit enqueues compute for the workers and returns its future. On a
+// serial (or nil, or closed) pool the compute is not enqueued anywhere:
+// the returned lazy task runs it inline at Wait, exactly like code that
+// never used the pool.
+func (p *Pool) Submit(compute func() any) *Task {
+	t := &Task{compute: compute}
+	if p == nil || p.workers <= 1 {
+		return t
+	}
+	t.done = make(chan struct{})
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return t
+	}
+	p.queue = append(p.queue, t)
+	p.mu.Unlock()
+	p.cond.Signal()
+	return t
+}
+
+// Wait returns the task's result, computing it if no worker has claimed
+// it yet (work stealing: the waiter never blocks behind unrelated queue
+// entries, and waiting on a task that is still queued costs exactly one
+// inline call). A panic inside the compute is re-raised here, on the
+// waiting goroutine, matching where it would have surfaced serially.
+// Wait must not be called after Discard.
+func (t *Task) Wait() any {
+	if t.state.CompareAndSwap(taskQueued, taskRunning) {
+		t.exec()
+	} else if t.state.Load() == taskDiscarded {
+		panic("sim: Wait on discarded task")
+	} else if t.done != nil {
+		<-t.done
+	}
+	if t.state.Load() == taskDiscarded {
+		panic("sim: Wait on discarded task")
+	}
+	if t.panicked != nil {
+		panic(t.panicked)
+	}
+	return t.result
+}
+
+// Discard abandons the task: if its compute has not started it never
+// will. A compute already claimed by a worker finishes in the background
+// and its result is dropped — safe because pool computes are pure.
+func (t *Task) Discard() {
+	t.state.CompareAndSwap(taskQueued, taskDiscarded)
+}
+
+// exec runs the compute on the claiming goroutine and publishes the
+// result (the channel close orders the result write before any Wait read).
+func (t *Task) exec() {
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicked = r
+		}
+		t.state.Store(taskDone)
+		if t.done != nil {
+			close(t.done)
+		}
+	}()
+	t.result = t.compute()
+	t.compute = nil
+}
+
+// worker drains the queue until Close.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		t := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		if t.state.CompareAndSwap(taskQueued, taskRunning) {
+			t.exec()
+		}
+	}
+}
+
+// Close shuts the pool down and waits for the workers to exit. Tasks
+// still queued are dropped from the queue but remain claimable: a later
+// Wait runs them inline. Close is idempotent; closing a nil or serial
+// pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil || p.workers <= 1 {
+		return
+	}
+	p.mu.Lock()
+	p.closed = true
+	p.queue = nil
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/hdfs"
 	"repro/internal/kv"
 	"repro/internal/mr"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/streaming"
 )
@@ -127,6 +128,13 @@ type ClusterOpts struct {
 	// Prof optionally attaches a wall-clock cost profiler to the run (the
 	// profiler-determinism tests drive this).
 	Prof *perf.Profiler
+	// Obs optionally records the run's trace spans and metrics (the
+	// worker-count invariance suite compares the dumped bytes).
+	Obs *obs.Recorder
+	// Workers bounds host-side parallelism for the run's task work; 0 or 1
+	// is the serial engine, and every value must produce byte-identical
+	// results (the determinism torture suite enforces this).
+	Workers int
 }
 
 func (o *ClusterOpts) fillDefaults() {
@@ -186,6 +194,8 @@ func RunCluster(cj *mr.CompiledJob, input []byte, o ClusterOpts) (*mr.JobStats, 
 		Seed:              o.Seed + 2,
 		SkipBadRecords:    o.SkipBadRecords,
 		MaxSkippedRecords: o.MaxSkippedRecords,
+		Obs:               o.Obs,
+		Workers:           o.Workers,
 	}, exec)
 }
 

@@ -1,0 +1,200 @@
+package testkit
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/mr"
+	"repro/internal/obs"
+)
+
+// workerCounts is the -workers sweep every determinism property is checked
+// against: the serial engine, two parallel shapes, and the host's actual
+// core count (deduplicated).
+func workerCounts() []int {
+	counts := []int{1, 2, 4}
+	n := runtime.NumCPU()
+	for _, c := range counts {
+		if c == n {
+			return counts
+		}
+	}
+	return append(counts, n)
+}
+
+// runDigest captures every byte-determinism surface of one cluster run:
+// the job output, the full JobStats, the Chrome trace dump, and the
+// Prometheus metrics dump.
+type runDigest struct {
+	output  string
+	stats   string
+	trace   string
+	metrics string
+}
+
+// digestRun executes one cluster configuration with a private recorder and
+// returns its byte-determinism digest.
+func digestRun(t *testing.T, cj *mr.CompiledJob, p Program, o ClusterOpts, what string) runDigest {
+	t.Helper()
+	rec := obs.NewRecorder()
+	o.Obs = rec
+	stats, err := RunCluster(cj, p.Input, o)
+	if err != nil {
+		t.Fatalf("seed %d: %s (workers=%d): %v\nmap source:\n%s", p.Seed, what, o.Workers, err, p.MapSrc)
+	}
+	var trace, metrics bytes.Buffer
+	if err := rec.Tracer().WriteChromeTrace(&trace); err != nil {
+		t.Fatalf("seed %d: %s: trace dump: %v", p.Seed, what, err)
+	}
+	if err := rec.Metrics().WriteProm(&metrics); err != nil {
+		t.Fatalf("seed %d: %s: metrics dump: %v", p.Seed, what, err)
+	}
+	return runDigest{
+		output:  TextOutput(stats),
+		stats:   fmt.Sprintf("%+v", *stats),
+		trace:   trace.String(),
+		metrics: metrics.String(),
+	}
+}
+
+// checkDigests compares a parallel run's digest against the serial one,
+// surface by surface.
+func checkDigests(t *testing.T, seed uint64, what string, workers int, serial, par runDigest) {
+	t.Helper()
+	surfaces := []struct{ name, want, got string }{
+		{"output", serial.output, par.output},
+		{"JobStats", serial.stats, par.stats},
+		{"trace", serial.trace, par.trace},
+		{"metrics", serial.metrics, par.metrics},
+	}
+	for _, s := range surfaces {
+		if s.got != s.want {
+			t.Fatalf("seed %d: %s: workers=%d changed the %s\nserial:\n%s\nparallel:\n%s",
+				seed, what, workers, s.name, head(s.want), head(s.got))
+		}
+	}
+}
+
+// TestWorkerCountInvariance is the headline determinism-torture property:
+// across the full 220-seed generated-program corpus, every byte surface of
+// a run — output, JobStats, trace, metrics — is identical for every worker
+// count. Both cluster backends are swept, since they parallelize through
+// different executor paths (streaming filters vs GPU kernels).
+func TestWorkerCountInvariance(t *testing.T) {
+	for seed := uint64(0); seed < NumDifferentialSeeds; seed++ {
+		p := Generate(seed)
+		cj, err := Compile(p)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		// Alternate the scheduler across the corpus (every run still mixes
+		// CPU and GPU work under GPUFirst; CPUOnly pins the streaming path).
+		sched := mr.GPUFirst
+		if seed%4 == 3 {
+			sched = mr.CPUOnly
+		}
+		base := ClusterOpts{Scheduler: sched, Seed: seed}
+		serial := digestRun(t, cj, p, base, "workers sweep")
+		for _, w := range workerCounts()[1:] {
+			o := base
+			o.Workers = w
+			checkDigests(t, seed, fmt.Sprintf("scheduler %v", sched), w,
+				serial, digestRun(t, cj, p, o, "workers sweep"))
+		}
+	}
+}
+
+// TestWorkerInvarianceUnderRecoveringFaults crosses the worker sweep with
+// every recovering fault-plan shape: parallel execution must not change a
+// single byte of a faulted run either. The teeth check guarantees the
+// crossed runs actually exercised recovery machinery rather than sweeping
+// no-op plans.
+func TestWorkerInvarianceUnderRecoveringFaults(t *testing.T) {
+	const faultSeeds = 6
+	recoveries := 0
+	for seed := uint64(0); seed < faultSeeds; seed++ {
+		cj, p, _ := metaProgram(t, seed)
+		clean, _ := mustRun(t, &cj, p, ClusterOpts{Scheduler: mr.GPUFirst, Seed: seed}, "clean run")
+		mid := clean.MapPhaseEnd / 2
+		specs := []struct{ name, spec string }{
+			{"crash-permanent", fmt.Sprintf("crash(node=1,at=%g)", mid)},
+			{"crash-restart", fmt.Sprintf("crash(node=1,at=%g,restart=%g)", mid, clean.Makespan)},
+			{"hbloss", fmt.Sprintf("hbloss(node=0,at=%g,for=%g)", mid, clean.Makespan)},
+			{"gpu-retire", fmt.Sprintf("retire(node=2,at=%g)", mid)},
+			{"straggler", fmt.Sprintf("slow(node=1,at=0,for=%g,factor=4)", clean.Makespan*2)},
+			{"taskfail-gpu", "taskfail(task=0,attempt=0,dev=gpu)"},
+			{"gpu-rate", "gpurate=0.3;seed=9"},
+		}
+		for _, tc := range specs {
+			plan, err := faults.Parse(tc.spec)
+			if err != nil {
+				t.Fatalf("seed %d: plan %s: %v", seed, tc.name, err)
+			}
+			base := ClusterOpts{Scheduler: mr.GPUFirst, Faults: plan, Seed: seed}
+			serial := digestRun(t, &cj, p, base, "faulted "+tc.name)
+			for _, w := range workerCounts()[1:] {
+				o := base
+				o.Workers = w
+				checkDigests(t, seed, "fault plan "+tc.name, w,
+					serial, digestRun(t, &cj, p, o, "faulted "+tc.name))
+			}
+			stats, _ := mustRun(t, &cj, p, base, "teeth run "+tc.name)
+			recoveries += stats.NodesLost + stats.MapsReexecuted + stats.GPUFallbacks +
+				stats.Retries + stats.FailedAttempts + stats.LostAttempts
+		}
+	}
+	if recoveries == 0 {
+		t.Error("worker-invariance fault crossing never exercised any recovery path")
+	}
+}
+
+// TestWorkerInvarianceUnderCorruptionFaults crosses the worker sweep with
+// the data-integrity plans from the corruption battery (plus bad-record
+// skipping), the paths that invalidate and re-execute committed map work —
+// exactly where a stale prefetched result would leak if the engine ever
+// consumed one.
+func TestWorkerInvarianceUnderCorruptionFaults(t *testing.T) {
+	const faultSeeds = 6
+	integrity := 0
+	for seed := uint64(0); seed < faultSeeds; seed++ {
+		cj, p, _ := metaProgram(t, seed)
+		specs := []struct {
+			name, spec string
+			skip       bool
+		}{
+			{"corrupt-whole-output", "corrupt(task=0,attempt=0)", false},
+			{"corrupt-one-partition", "corrupt(task=1,attempt=0,part=0)", false},
+			{"fetchfail-transient", "fetchfail(task=0,part=0,times=2)", false},
+			{"fetchfail-until-lost", "fetchfail(task=0,part=0,times=9)", false},
+			{"corrupt-rate", "corruptrate=0.05;seed=5", false},
+			{"skip-bad-records", "poison(task=0,record=1);poison(task=0,record=4)", true},
+		}
+		for _, tc := range specs {
+			plan, err := faults.Parse(tc.spec)
+			if err != nil {
+				t.Fatalf("seed %d: plan %s: %v", seed, tc.name, err)
+			}
+			base := ClusterOpts{Scheduler: mr.GPUFirst, Faults: plan, Seed: seed,
+				SkipBadRecords: tc.skip}
+			if tc.skip {
+				base.BlockSize = 64 << 10
+			}
+			serial := digestRun(t, &cj, p, base, "corrupted "+tc.name)
+			for _, w := range workerCounts()[1:] {
+				o := base
+				o.Workers = w
+				checkDigests(t, seed, "corruption plan "+tc.name, w,
+					serial, digestRun(t, &cj, p, o, "corrupted "+tc.name))
+			}
+			stats, _ := mustRun(t, &cj, p, base, "teeth run "+tc.name)
+			integrity += stats.CorruptPartitions + stats.FetchFailures +
+				stats.MapOutputsLost + stats.Refetches + stats.RecordsSkipped
+		}
+	}
+	if integrity == 0 {
+		t.Error("worker-invariance corruption crossing never exercised the integrity machinery")
+	}
+}

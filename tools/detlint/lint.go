@@ -8,7 +8,14 @@
 //  2. calling time.Now (wall-clock reads make virtual-time runs diverge),
 //  3. ranging over a map (iteration order is randomized) — except the
 //     collect-keys-then-sort idiom, where the loop body is a single
-//     `xs = append(xs, k)` statement.
+//     `xs = append(xs, k)` statement,
+//  4. launching a bare goroutine (`go f()`) — unsynchronized concurrency
+//     makes effect order host-dependent; engine packages must route
+//     parallel work through sim.Pool, whose results are applied in
+//     canonical event order,
+//  5. using sync.Map — its iteration and internal promotion behaviour are
+//     unordered and unsynchronized with the virtual clock; use an ordinary
+//     map plus deterministic ordering (or sim.Pool futures).
 //
 // A finding is suppressed by a `//detlint:ignore <reason>` comment on the
 // offending line or the line directly above it.
@@ -58,6 +65,9 @@ type linter struct {
 	// timeName is the local import name of the "time" package ("" if not
 	// imported).
 	timeName string
+	// syncName is the local import name of the "sync" package ("" if not
+	// imported).
+	syncName string
 	// mapNames are identifiers (variables and struct field names) with
 	// file-local syntactic evidence of a map type.
 	mapNames map[string]bool
@@ -86,12 +96,17 @@ func (l *linter) collectIgnores() {
 
 func (l *linter) collectTimeName() {
 	for _, imp := range l.file.Imports {
-		if strings.Trim(imp.Path.Value, `"`) != "time" {
-			continue
-		}
-		l.timeName = "time"
-		if imp.Name != nil {
-			l.timeName = imp.Name.Name
+		switch strings.Trim(imp.Path.Value, `"`) {
+		case "time":
+			l.timeName = "time"
+			if imp.Name != nil {
+				l.timeName = imp.Name.Name
+			}
+		case "sync":
+			l.syncName = "sync"
+			if imp.Name != nil {
+				l.syncName = imp.Name.Name
+			}
 		}
 	}
 }
@@ -188,6 +203,16 @@ func (l *linter) run() {
 			if l.rangesOverMap(x.X) && !isCollectKeysBody(x.Body) {
 				l.report(x.Pos(), "map-iteration",
 					"map iteration order is randomized; collect keys and sort, or iterate a sorted slice")
+			}
+		case *ast.GoStmt:
+			l.report(x.Pos(), "bare-goroutine",
+				"bare goroutine in an engine package; route parallel work through sim.Pool so effects apply in canonical event order")
+		case *ast.SelectorExpr:
+			if l.syncName != "" && x.Sel.Name == "Map" {
+				if id, ok := x.X.(*ast.Ident); ok && id.Name == l.syncName {
+					l.report(x.Pos(), "sync-map",
+						"sync.Map is unordered and unsynchronized with the virtual clock; use a plain map with deterministic ordering or sim.Pool futures")
+				}
 			}
 		}
 		return true

@@ -133,6 +133,73 @@ func f(m map[string]int) {
 	}
 }
 
+func TestFlagsBareGoroutine(t *testing.T) {
+	fs := lintOK(t, `package p
+func f() {
+	go func() {}()
+}
+`)
+	if len(fs) != 1 || fs[0].rule != "bare-goroutine" {
+		t.Fatalf("want one bare-goroutine finding, got %v", fs)
+	}
+}
+
+func TestIgnoredGoroutineSuppressed(t *testing.T) {
+	fs := lintOK(t, `package p
+func f() {
+	//detlint:ignore bare-goroutine: pool worker, results applied in event order
+	go f()
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("annotated goroutine should pass, got %v", fs)
+	}
+}
+
+func TestFlagsSyncMap(t *testing.T) {
+	fs := lintOK(t, `package p
+import "sync"
+var m sync.Map
+func f() { m.Store("k", 1) }
+`)
+	if len(fs) != 1 || fs[0].rule != "sync-map" {
+		t.Fatalf("want one sync-map finding, got %v", fs)
+	}
+}
+
+func TestRenamedSyncImportStillFlagged(t *testing.T) {
+	fs := lintOK(t, `package p
+import s "sync"
+type t struct{ m s.Map }
+`)
+	if len(fs) != 1 || fs[0].rule != "sync-map" {
+		t.Fatalf("want one sync-map finding, got %v", fs)
+	}
+}
+
+func TestSyncMutexNotFlagged(t *testing.T) {
+	fs := lintOK(t, `package p
+import "sync"
+type t struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("sync.Mutex/WaitGroup should pass, got %v", fs)
+	}
+}
+
+func TestOtherMapSelectorNotFlagged(t *testing.T) {
+	fs := lintOK(t, `package p
+type registry struct{ Map func() }
+func f(r registry) { r.Map() }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("non-sync Map selector should pass, got %v", fs)
+	}
+}
+
 func TestFindingFormat(t *testing.T) {
 	fs := lintOK(t, `package p
 import "math/rand"
